@@ -1,0 +1,66 @@
+// T-ALGO ablation (§4.1/§4.2): the chosen "Atomic Event Sets" structure
+// against the two conventional alternatives — per-subscription brute force
+// and the inverted-index counting algorithm. The paper states alternatives
+// were considered and rejected; this bench regenerates the comparison that
+// justifies the choice, sweeping Card(C).
+//
+// Expected shape: brute force degrades linearly in Card(C); counting
+// degrades linearly in k (= D·Card(C)/Card(A)); AES stays near-flat
+// (O(s · log k)).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/mqp/aes_matcher.h"
+#include "src/mqp/brute_matcher.h"
+#include "src/mqp/counting_matcher.h"
+
+using xymon::bench::FillMatcher;
+using xymon::bench::MatchMicrosPerDoc;
+using xymon::bench::PrintHeader;
+using xymon::mqp::AesMatcher;
+using xymon::mqp::BruteForceMatcher;
+using xymon::mqp::CountingMatcher;
+using xymon::mqp::WorkloadGenerator;
+using xymon::mqp::WorkloadParams;
+
+int main() {
+  PrintHeader(
+      "T-ALGO: time per document (us) — AES vs counting vs brute force\n"
+      "Card(A)=1e5, D=4, s=30; sweeping Card(C)");
+
+  constexpr uint32_t kCardC[] = {1'000, 10'000, 100'000, 1'000'000};
+
+  printf("%10s %12s %12s %12s\n", "Card(C)", "aes", "counting", "brute");
+  for (uint32_t card_c : kCardC) {
+    WorkloadParams params;
+    params.card_a = 100'000;
+    params.card_c = card_c;
+    params.d = 4;
+    params.s = 30;
+    params.seed = 3;
+
+    WorkloadGenerator g1(params), g2(params), g3(params);
+    AesMatcher aes;
+    FillMatcher(&aes, &g1);
+    CountingMatcher counting;
+    FillMatcher(&counting, &g2);
+    BruteForceMatcher brute;
+    FillMatcher(&brute, &g3);
+
+    // Brute force is slow at scale: use fewer documents there.
+    auto docs = WorkloadGenerator(params).GenerateDocuments(2000);
+    std::vector<xymon::mqp::EventSet> brute_docs(
+        docs.begin(), docs.begin() + (card_c >= 100'000 ? 50 : 500));
+
+    printf("%10u %12.2f %12.2f %12.2f\n", card_c,
+           MatchMicrosPerDoc(aes, docs), MatchMicrosPerDoc(counting, docs),
+           MatchMicrosPerDoc(brute, brute_docs));
+  }
+  printf(
+      "\nexpected: brute ~ O(Card(C)); counting ~ O(k); aes near-flat.\n"
+      "At Card(C)=1e6 the AES advantage over brute force should be several\n"
+      "orders of magnitude — that is what makes millions of subscriptions\n"
+      "on one PC feasible (paper abstract).\n");
+  return 0;
+}

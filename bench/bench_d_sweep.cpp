@@ -1,0 +1,45 @@
+// In-text claim T-D (§4.2): "the complexity is independent of D for D
+// ranging from 2 to 10", in the realistic case Card(A) >> D.
+//
+// Fixed: Card(A) = 1e5, Card(C) = 1e5, s = 20. Sweep D from 2 to 10.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/mqp/aes_matcher.h"
+
+using xymon::bench::FillMatcher;
+using xymon::bench::MatchMicrosPerDoc;
+using xymon::bench::PrintHeader;
+using xymon::mqp::AesMatcher;
+using xymon::mqp::WorkloadGenerator;
+using xymon::mqp::WorkloadParams;
+
+int main() {
+  PrintHeader(
+      "T-D: time per document (us) vs D (events per complex event)\n"
+      "Card(A)=1e5, Card(C)=1e5, s=20   (paper: independent of D, 2..10)");
+
+  constexpr size_t kDocs = 5000;
+  printf("%4s %14s\n", "D", "time/doc (us)");
+  double lo = 1e30, hi = 0;
+  for (uint32_t d = 2; d <= 10; ++d) {
+    WorkloadParams params;
+    params.card_a = 100'000;
+    params.card_c = 100'000;
+    params.d = d;
+    params.s = 20;
+    params.seed = 17 + d;
+    WorkloadGenerator gen(params);
+    AesMatcher matcher;
+    FillMatcher(&matcher, &gen);
+    auto docs = WorkloadGenerator(params).GenerateDocuments(kDocs);
+    double micros = MatchMicrosPerDoc(matcher, docs);
+    printf("%4u %14.2f\n", d, micros);
+    if (micros < lo) lo = micros;
+    if (micros > hi) hi = micros;
+  }
+  printf("\nspread max/min = %.2fx (paper: flat; expect close to 1x)\n",
+         hi / lo);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 5 reproduction: time to process one document (µs) as a function of
+// s = Card(S), one series per Card(C) ∈ {10^4, 10^5, 10^6}.
+//
+// Paper setup (§4.2 "Analysis in brief"): atomic events drawn uniformly,
+// D = 4, Card(A) bounded at 10^5. Expected shape: linear in s; the paper
+// reports ≈1 ms per document at s = 100 with Card(C) = 10^6 on a 2001 PC.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/mqp/aes_matcher.h"
+
+using xymon::bench::FillMatcher;
+using xymon::bench::MatchMicrosPerDoc;
+using xymon::bench::PrintHeader;
+using xymon::mqp::AesMatcher;
+using xymon::mqp::WorkloadGenerator;
+using xymon::mqp::WorkloadParams;
+
+int main() {
+  PrintHeader(
+      "Figure 5: time per document (us) vs Card(S), D=4, Card(A)=1e5\n"
+      "series: Card(C) in {1e4, 1e5, 1e6}   (paper: linear in s, ~1000us\n"
+      "at s=100 / Card(C)=1e6 on a 2001 PC)");
+
+  constexpr uint32_t kCardC[] = {10'000, 100'000, 1'000'000};
+  constexpr uint32_t kCardS[] = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  constexpr size_t kDocs = 2000;
+
+  printf("%8s", "Card(S)");
+  for (uint32_t c : kCardC) printf("  C=%-9u", c);
+  printf("\n");
+
+  // One matcher per Card(C); documents regenerated per s.
+  std::vector<double> rows[10];
+  for (size_t ci = 0; ci < 3; ++ci) {
+    WorkloadParams params;
+    params.card_a = 100'000;
+    params.card_c = kCardC[ci];
+    params.d = 4;
+    params.seed = 42 + ci;
+    WorkloadGenerator gen(params);
+    AesMatcher matcher;
+    FillMatcher(&matcher, &gen);
+    for (size_t si = 0; si < 10; ++si) {
+      params.s = kCardS[si];
+      WorkloadGenerator doc_gen(params);
+      auto docs = doc_gen.GenerateDocuments(kDocs);
+      rows[si].push_back(MatchMicrosPerDoc(matcher, docs));
+    }
+  }
+  for (size_t si = 0; si < 10; ++si) {
+    printf("%8u", kCardS[si]);
+    for (double v : rows[si]) printf("  %-11.2f", v);
+    printf("\n");
+  }
+
+  // Shape check: per-series ratio t(100)/t(10) should be near 10 (linear).
+  printf("\nlinearity check t(s=100)/t(s=10):");
+  for (size_t ci = 0; ci < 3; ++ci) {
+    printf("  C=%u: %.1fx", kCardC[ci], rows[9][ci] / rows[0][ci]);
+  }
+  printf("   (linear => ~10x)\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#ifndef XYMON_BENCH_BENCH_UTIL_H_
+#define XYMON_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/mqp/matcher.h"
+#include "src/mqp/workload.h"
+
+namespace xymon::bench {
+
+/// Wall-clock microseconds of `fn()`.
+inline double TimeMicros(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+/// Mean time per document (µs) to match `docs` against `matcher`.
+/// Runs one warm-up pass over the first few documents.
+inline double MatchMicrosPerDoc(const mqp::Matcher& matcher,
+                                const std::vector<mqp::EventSet>& docs) {
+  std::vector<mqp::ComplexEventId> sink;
+  size_t warm = docs.size() < 16 ? docs.size() : 16;
+  for (size_t i = 0; i < warm; ++i) {
+    sink.clear();
+    matcher.Match(docs[i], &sink);
+  }
+  double total = TimeMicros([&] {
+    for (const mqp::EventSet& doc : docs) {
+      sink.clear();
+      matcher.Match(doc, &sink);
+    }
+  });
+  return total / static_cast<double>(docs.size());
+}
+
+/// Loads the workload's complex events into `matcher`.
+template <typename MatcherT>
+void FillMatcher(MatcherT* matcher, mqp::WorkloadGenerator* gen) {
+  mqp::ComplexEventId id = 0;
+  for (const mqp::EventSet& events : gen->GenerateComplexEvents()) {
+    Status st = matcher->Insert(id++, events);
+    (void)st;
+  }
+}
+
+inline void PrintHeader(const std::string& title) {
+  printf("\n============================================================\n");
+  printf("%s\n", title.c_str());
+  printf("============================================================\n");
+}
+
+}  // namespace xymon::bench
+
+#endif  // XYMON_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,78 @@
+#include "src/alerters/condition.h"
+
+namespace xymon::alerters {
+namespace {
+
+const char* ComparatorName(Comparator cmp) {
+  switch (cmp) {
+    case Comparator::kLt:
+      return "<";
+    case Comparator::kLe:
+      return "<=";
+    case Comparator::kEq:
+      return "=";
+    case Comparator::kGe:
+      return ">=";
+    case Comparator::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool CompareTimestamps(Timestamp lhs, Comparator cmp, Timestamp rhs) {
+  switch (cmp) {
+    case Comparator::kLt:
+      return lhs < rhs;
+    case Comparator::kLe:
+      return lhs <= rhs;
+    case Comparator::kEq:
+      return lhs == rhs;
+    case Comparator::kGe:
+      return lhs >= rhs;
+    case Comparator::kGt:
+      return lhs > rhs;
+  }
+  return false;
+}
+
+std::string Condition::Key() const {
+  switch (kind) {
+    case ConditionKind::kUrlEquals:
+      return "url=" + str_value;
+    case ConditionKind::kUrlExtends:
+      return "urlext=" + str_value;
+    case ConditionKind::kFilenameEquals:
+      return "file=" + str_value;
+    case ConditionKind::kDocIdEquals:
+      return "docid=" + std::to_string(num_value);
+    case ConditionKind::kDtdIdEquals:
+      return "dtdid=" + std::to_string(num_value);
+    case ConditionKind::kDtdUrlEquals:
+      return "dtd=" + str_value;
+    case ConditionKind::kDomainEquals:
+      return "domain=" + str_value;
+    case ConditionKind::kLastAccessedCmp:
+      return std::string("acc") + ComparatorName(cmp) +
+             std::to_string(date_value);
+    case ConditionKind::kLastUpdateCmp:
+      return std::string("upd") + ComparatorName(cmp) +
+             std::to_string(date_value);
+    case ConditionKind::kDocStatus:
+      return std::string("status=") + warehouse::DocStatusName(status);
+    case ConditionKind::kSelfContains:
+      return "selfhas=" + str_value;
+    case ConditionKind::kElementChange: {
+      std::string key = "elem|";
+      key += change_op.has_value() ? xmldiff::ChangeOpName(*change_op) : "any";
+      key += "|" + tag + "|";
+      key += strict ? "strict|" : "|";
+      key += word;
+      return key;
+    }
+  }
+  return "?";
+}
+
+}  // namespace xymon::alerters

@@ -1,0 +1,71 @@
+#ifndef XYMON_ALERTERS_CONDITION_H_
+#define XYMON_ALERTERS_CONDITION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/warehouse/metadata.h"
+#include "src/xmldiff/delta.h"
+
+namespace xymon::alerters {
+
+/// The atomic conditions of the subscription language's where clause
+/// (paper §5.1). Each distinct condition is mapped by the Subscription
+/// Manager to one atomic event code, shared across all subscriptions that
+/// use it.
+enum class ConditionKind {
+  // URL-alerter conditions (document metadata).
+  kUrlEquals,        // URL = string
+  kUrlExtends,       // URL extends string   (prefix)
+  kFilenameEquals,   // filename = string    (tail of the URL)
+  kDocIdEquals,      // DOCID = integer
+  kDtdIdEquals,      // DTDID = integer
+  kDtdUrlEquals,     // DTD = string         (system id)
+  kDomainEquals,     // domain = string
+  kLastAccessedCmp,  // LastAccessed <cmp> date
+  kLastUpdateCmp,    // LastUpdate <cmp> date
+  kDocStatus,        // new|updated|unchanged|deleted self  (weak but deleted)
+  // Content conditions (XML / HTML alerters).
+  kSelfContains,     // self contains string
+  kElementChange,    // (changetype)? tag (strict)? (contains string)?
+};
+
+enum class Comparator { kLt, kLe, kEq, kGe, kGt };
+
+bool CompareTimestamps(Timestamp lhs, Comparator cmp, Timestamp rhs);
+
+/// One atomic condition. Which fields are meaningful depends on `kind`.
+struct Condition {
+  ConditionKind kind;
+
+  std::string str_value;  // url / prefix / filename / domain / dtd url / word
+  uint64_t num_value = 0;           // docid / dtdid
+  Timestamp date_value = 0;         // date comparisons
+  Comparator cmp = Comparator::kEq;
+
+  // kDocStatus:
+  warehouse::DocStatus status = warehouse::DocStatus::kNew;
+
+  // kElementChange:
+  std::optional<xmldiff::ChangeOp> change_op;  // nullopt = mere presence
+  std::string tag;
+  std::string word;    // empty = no contains part
+  bool strict = false;  // strict contains
+
+  /// Weak events (paper §5.1): new/updated/unchanged document status —
+  /// nearly every fetched document raises one, so a where clause must
+  /// contain at least one strong (non-weak) condition.
+  bool IsWeak() const {
+    return kind == ConditionKind::kDocStatus &&
+           status != warehouse::DocStatus::kDeleted;
+  }
+
+  /// Canonical serialization; two conditions are the same atomic event iff
+  /// their keys are equal (the manager's dedup key).
+  std::string Key() const;
+};
+
+}  // namespace xymon::alerters
+
+#endif  // XYMON_ALERTERS_CONDITION_H_

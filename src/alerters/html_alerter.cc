@@ -1,0 +1,111 @@
+#include "src/alerters/html_alerter.h"
+
+#include <cctype>
+
+#include "src/common/string_util.h"
+
+namespace xymon::alerters {
+
+Status HtmlAlerter::Register(mqp::AtomicEvent code, const Condition& c) {
+  if (c.kind != ConditionKind::kSelfContains) {
+    return Status::InvalidArgument(
+        "HTML alerter only supports 'self contains': " + c.Key());
+  }
+  keywords_[ToLower(c.str_value)] = code;
+  return Status::OK();
+}
+
+Status HtmlAlerter::Unregister(mqp::AtomicEvent code, const Condition& c) {
+  (void)code;
+  if (c.kind != ConditionKind::kSelfContains) {
+    return Status::InvalidArgument(
+        "HTML alerter only supports 'self contains': " + c.Key());
+  }
+  keywords_.erase(ToLower(c.str_value));
+  return Status::OK();
+}
+
+std::string HtmlAlerter::ExtractText(std::string_view html) {
+  std::string out;
+  out.reserve(html.size());
+  size_t i = 0;
+  while (i < html.size()) {
+    if (html[i] == '<') {
+      // Skip <script>...</script> and <style>...</style> wholesale.
+      auto skip_container = [&](std::string_view open, std::string_view close) {
+        if (html.size() - i < open.size()) return false;
+        std::string head = ToLower(html.substr(i, open.size()));
+        if (head != open) return false;
+        size_t end = ToLower(std::string(html.substr(i))).find(std::string(close));
+        i = (end == std::string::npos) ? html.size() : i + end + close.size();
+        return true;
+      };
+      if (skip_container("<script", "</script>")) continue;
+      if (skip_container("<style", "</style>")) continue;
+      while (i < html.size() && html[i] != '>') ++i;
+      if (i < html.size()) ++i;
+      out += ' ';
+    } else if (html[i] == '&') {
+      size_t semi = html.find(';', i);
+      if (semi != std::string_view::npos && semi - i <= 8) {
+        std::string_view ent = html.substr(i + 1, semi - i - 1);
+        if (ent == "amp") {
+          out += '&';
+        } else if (ent == "lt") {
+          out += '<';
+        } else if (ent == "gt") {
+          out += '>';
+        } else if (ent == "nbsp") {
+          out += ' ';
+        } else if (ent == "quot") {
+          out += '"';
+        } else {
+          out += ' ';
+        }
+        i = semi + 1;
+      } else {
+        out += '&';
+        ++i;
+      }
+    } else {
+      out += html[i];
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> HtmlAlerter::ExtractLinks(std::string_view html) {
+  std::vector<std::string> out;
+  std::string lower = ToLower(html);
+  size_t pos = 0;
+  while ((pos = lower.find("href", pos)) != std::string::npos) {
+    pos += 4;
+    while (pos < html.size() && (html[pos] == ' ' || html[pos] == '=')) ++pos;
+    if (pos >= html.size() || (html[pos] != '"' && html[pos] != '\'')) {
+      continue;
+    }
+    char quote = html[pos];
+    size_t start = ++pos;
+    size_t end = html.find(quote, start);
+    if (end == std::string::npos) break;
+    std::string url(html.substr(start, end - start));
+    pos = end + 1;
+    if (StartsWith(url, "http://") || StartsWith(url, "https://")) {
+      out.push_back(std::move(url));
+    }
+  }
+  return out;
+}
+
+void HtmlAlerter::Detect(std::string_view html_body,
+                         std::vector<mqp::AtomicEvent>* out) const {
+  if (keywords_.empty()) return;
+  std::string text = ExtractText(html_body);
+  for (const std::string& word : TokenizeWords(text)) {
+    auto it = keywords_.find(word);
+    if (it != keywords_.end()) out->push_back(it->second);
+  }
+}
+
+}  // namespace xymon::alerters

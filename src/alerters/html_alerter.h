@@ -1,0 +1,47 @@
+#ifndef XYMON_ALERTERS_HTML_ALERTER_H_
+#define XYMON_ALERTERS_HTML_ALERTER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/alerters/condition.h"
+#include "src/common/status.h"
+#include "src/mqp/event.h"
+
+namespace xymon::alerters {
+
+/// The HTML Alerter. The paper lists it as designed-but-unimplemented
+/// ("Only the first two have been implemented", §3); we implement it as the
+/// natural extension: HTML pages are not warehoused, so only keyword
+/// (`self contains`) conditions are detectable — change detection at the
+/// page level stays with the URL Alerter's signature-based status events.
+class HtmlAlerter {
+ public:
+  /// Accepts kSelfContains conditions only.
+  Status Register(mqp::AtomicEvent code, const Condition& condition);
+  Status Unregister(mqp::AtomicEvent code, const Condition& condition);
+
+  /// Strips tags, tokenizes the visible text and raises keyword codes.
+  void Detect(std::string_view html_body,
+              std::vector<mqp::AtomicEvent>* out) const;
+
+  size_t condition_count() const { return keywords_.size(); }
+
+  /// Tag-stripping used by Detect, exposed for tests: removes <...> markup,
+  /// <script>/<style> content and decodes the common entities.
+  static std::string ExtractText(std::string_view html);
+
+  /// href targets of <a> anchors — what the crawler follows to discover new
+  /// pages ("discovery of a new page within a certain semantic domain",
+  /// paper §1). Only absolute http(s) URLs are returned.
+  static std::vector<std::string> ExtractLinks(std::string_view html);
+
+ private:
+  std::unordered_map<std::string, mqp::AtomicEvent> keywords_;
+};
+
+}  // namespace xymon::alerters
+
+#endif  // XYMON_ALERTERS_HTML_ALERTER_H_

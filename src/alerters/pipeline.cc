@@ -1,0 +1,57 @@
+#include "src/alerters/pipeline.h"
+
+#include <algorithm>
+
+#include "src/xml/serializer.h"
+
+namespace xymon::alerters {
+
+std::optional<mqp::AlertMessage> AlertPipeline::BuildAlert(
+    const warehouse::IngestResult& ingest, std::string_view raw_body) const {
+  std::vector<mqp::AtomicEvent> codes;
+  if (url_alerter_ != nullptr) {
+    url_alerter_->Detect(ingest.meta, &codes);
+  }
+  if (ingest.meta.is_xml) {
+    if (xml_alerter_ != nullptr) {
+      xml_alerter_->Detect(ingest, &codes);
+    }
+  } else if (html_alerter_ != nullptr) {
+    html_alerter_->Detect(raw_body, &codes);
+  }
+
+  // Normalize to the ordered-set representation the MQP requires.
+  std::sort(codes.begin(), codes.end());
+  codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
+  if (codes.empty()) return std::nullopt;
+
+  bool any_strong = false;
+  for (mqp::AtomicEvent code : codes) {
+    if (weak_codes_.count(code) == 0) {
+      any_strong = true;
+      break;
+    }
+  }
+  if (!any_strong) return std::nullopt;
+
+  mqp::AlertMessage alert;
+  alert.docid = ingest.meta.docid;
+  alert.url = ingest.meta.url;
+  alert.events = std::move(codes);
+
+  // The "requested data" payload forwarded transparently to the Reporter.
+  auto info = xml::Node::Element("doc");
+  info->SetAttribute("url", ingest.meta.url);
+  info->SetAttribute("docid", std::to_string(ingest.meta.docid));
+  info->SetAttribute("status", warehouse::DocStatusName(ingest.meta.status));
+  if (!ingest.meta.domain.empty()) {
+    info->SetAttribute("domain", ingest.meta.domain);
+  }
+  if (!ingest.meta.dtd_url.empty()) {
+    info->SetAttribute("dtd", ingest.meta.dtd_url);
+  }
+  alert.info_xml = xml::Serialize(*info);
+  return alert;
+}
+
+}  // namespace xymon::alerters

@@ -1,0 +1,50 @@
+#ifndef XYMON_ALERTERS_PIPELINE_H_
+#define XYMON_ALERTERS_PIPELINE_H_
+
+#include <optional>
+#include <string_view>
+#include <unordered_set>
+
+#include "src/alerters/html_alerter.h"
+#include "src/alerters/url_alerter.h"
+#include "src/alerters/xml_alerter.h"
+#include "src/mqp/processor.h"
+#include "src/warehouse/warehouse.h"
+
+namespace xymon::alerters {
+
+/// Assembles the per-document alert (paper §6.1): all atomic events detected
+/// by all alerters are collected *before* anything is sent, so the
+/// Monitoring Query Processor receives the complete ordered set in one
+/// message. A document raising only weak events produces no alert at all
+/// (§5.1) — that is the load-shedding rule that keeps the MQP off the
+/// per-document hot path for uninteresting fetches.
+class AlertPipeline {
+ public:
+  AlertPipeline(const UrlAlerter* url_alerter, const XmlAlerter* xml_alerter,
+                const HtmlAlerter* html_alerter)
+      : url_alerter_(url_alerter),
+        xml_alerter_(xml_alerter),
+        html_alerter_(html_alerter) {}
+
+  /// Marks `code` as weak; alerts consisting solely of weak codes are
+  /// suppressed. Maintained by the Subscription Manager.
+  void MarkWeak(mqp::AtomicEvent code) { weak_codes_.insert(code); }
+  void UnmarkWeak(mqp::AtomicEvent code) { weak_codes_.erase(code); }
+
+  /// Runs all alerters over one ingested fetch and builds the alert, or
+  /// nullopt when no (strong) atomic event was detected. `raw_body` is the
+  /// fetched bytes (used by the HTML alerter for non-XML pages).
+  std::optional<mqp::AlertMessage> BuildAlert(
+      const warehouse::IngestResult& ingest, std::string_view raw_body) const;
+
+ private:
+  const UrlAlerter* url_alerter_;
+  const XmlAlerter* xml_alerter_;
+  const HtmlAlerter* html_alerter_;
+  std::unordered_set<mqp::AtomicEvent> weak_codes_;
+};
+
+}  // namespace xymon::alerters
+
+#endif  // XYMON_ALERTERS_PIPELINE_H_

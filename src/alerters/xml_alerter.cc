@@ -1,0 +1,211 @@
+#include "src/alerters/xml_alerter.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/string_util.h"
+
+namespace xymon::alerters {
+namespace {
+
+using xmldiff::ChangeOp;
+
+uint8_t OpBit(ChangeOp op) { return static_cast<uint8_t>(1u << static_cast<int>(op)); }
+
+}  // namespace
+
+/// Postorder walk maintaining per-node interesting-word lists (the paper's
+/// "stack of lists of words").
+class XmlTraversal {
+ public:
+  XmlTraversal(const XmlAlerter& alerter,
+               const std::unordered_map<const xml::Node*, uint8_t>& ops,
+               std::vector<mqp::AtomicEvent>* out)
+      : alerter_(alerter), ops_(ops), out_(out) {}
+
+  /// Walks `node`'s subtree; `forced_ops` is OR-ed into every element's op
+  /// mask (used for deleted subtrees). Returns the interesting words of the
+  /// subtree (deduplicated).
+  std::vector<const std::string*> Walk(const xml::Node& node,
+                                       uint8_t forced_ops) {
+    std::vector<const std::string*> subtree_words;
+    std::vector<const std::string*> direct_words;
+
+    for (const auto& child : node.children()) {
+      if (child->is_text()) {
+        for (const std::string& token : TokenizeWords(child->text())) {
+          const std::string* interned = Intern(token);
+          if (interned != nullptr) direct_words.push_back(interned);
+        }
+      } else if (child->is_element()) {
+        auto child_words = Walk(*child, forced_ops);
+        subtree_words.insert(subtree_words.end(), child_words.begin(),
+                             child_words.end());
+      }
+    }
+    subtree_words.insert(subtree_words.end(), direct_words.begin(),
+                         direct_words.end());
+    Dedupe(&subtree_words);
+    Dedupe(&direct_words);
+
+    if (node.is_element()) {
+      uint8_t mask = forced_ops;
+      auto it = ops_.find(&node);
+      if (it != ops_.end()) mask |= it->second;
+      Evaluate(node, mask, subtree_words, direct_words);
+    }
+    return subtree_words;
+  }
+
+  void EmitSelfContains(const std::vector<const std::string*>& words) {
+    if (alerter_.self_contains_.empty()) return;
+    for (const std::string* word : words) {
+      auto it = alerter_.self_contains_.find(*word);
+      if (it != alerter_.self_contains_.end()) out_->push_back(it->second);
+    }
+  }
+
+ private:
+  /// Returns a stable pointer if the word is interesting, nullptr otherwise.
+  const std::string* Intern(const std::string& word) {
+    auto wt = alerter_.word_table_.find(word);
+    if (wt != alerter_.word_table_.end()) return &wt->first;
+    auto sc = alerter_.self_contains_.find(word);
+    if (sc != alerter_.self_contains_.end()) return &sc->first;
+    return nullptr;
+  }
+
+  static void Dedupe(std::vector<const std::string*>* words) {
+    std::sort(words->begin(), words->end());
+    words->erase(std::unique(words->begin(), words->end()), words->end());
+  }
+
+  void Evaluate(const xml::Node& node, uint8_t mask,
+                const std::vector<const std::string*>& subtree_words,
+                const std::vector<const std::string*>& direct_words) {
+    auto op_matches = [mask](const std::optional<ChangeOp>& op) {
+      return !op.has_value() || (mask & OpBit(*op)) != 0;
+    };
+
+    auto tag_it = alerter_.tag_only_.find(node.name());
+    if (tag_it != alerter_.tag_only_.end()) {
+      for (const XmlAlerter::TagEntry& e : tag_it->second) {
+        if (op_matches(e.op)) out_->push_back(e.code);
+      }
+    }
+
+    if (alerter_.word_table_.empty()) return;
+    auto probe = [&](const std::vector<const std::string*>& words,
+                     bool strict) {
+      for (const std::string* word : words) {
+        auto wt = alerter_.word_table_.find(*word);
+        if (wt == alerter_.word_table_.end()) continue;
+        auto tt = wt->second.find(node.name());
+        if (tt == wt->second.end()) continue;
+        for (const XmlAlerter::WordTagEntry& e : tt->second) {
+          if (e.strict == strict && op_matches(e.op)) out_->push_back(e.code);
+        }
+      }
+    };
+    probe(subtree_words, /*strict=*/false);
+    probe(direct_words, /*strict=*/true);
+  }
+
+  const XmlAlerter& alerter_;
+  const std::unordered_map<const xml::Node*, uint8_t>& ops_;
+  std::vector<mqp::AtomicEvent>* out_;
+};
+
+Status XmlAlerter::Register(mqp::AtomicEvent code, const Condition& c) {
+  if (c.kind == ConditionKind::kSelfContains) {
+    self_contains_[ToLower(c.str_value)] = code;
+    ++condition_count_;
+    return Status::OK();
+  }
+  if (c.kind != ConditionKind::kElementChange) {
+    return Status::InvalidArgument(
+        "condition is not an XML-alerter condition: " + c.Key());
+  }
+  if (c.tag.empty()) {
+    return Status::InvalidArgument("element condition requires a tag");
+  }
+  if (c.word.empty()) {
+    tag_only_[c.tag].push_back(TagEntry{c.change_op, code});
+  } else {
+    word_table_[ToLower(c.word)][c.tag].push_back(
+        WordTagEntry{c.change_op, c.strict, code});
+  }
+  ++condition_count_;
+  return Status::OK();
+}
+
+Status XmlAlerter::Unregister(mqp::AtomicEvent code, const Condition& c) {
+  if (c.kind == ConditionKind::kSelfContains) {
+    self_contains_.erase(ToLower(c.str_value));
+    if (condition_count_ > 0) --condition_count_;
+    return Status::OK();
+  }
+  if (c.kind != ConditionKind::kElementChange) {
+    return Status::InvalidArgument(
+        "condition is not an XML-alerter condition: " + c.Key());
+  }
+  auto drop_code = [code](auto& vec) {
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [code](const auto& e) { return e.code == code; }),
+              vec.end());
+  };
+  if (c.word.empty()) {
+    auto it = tag_only_.find(c.tag);
+    if (it != tag_only_.end()) {
+      drop_code(it->second);
+      if (it->second.empty()) tag_only_.erase(it);
+    }
+  } else {
+    auto wt = word_table_.find(ToLower(c.word));
+    if (wt != word_table_.end()) {
+      auto tt = wt->second.find(c.tag);
+      if (tt != wt->second.end()) {
+        drop_code(tt->second);
+        if (tt->second.empty()) wt->second.erase(tt);
+      }
+      if (wt->second.empty()) word_table_.erase(wt);
+    }
+  }
+  if (condition_count_ > 0) --condition_count_;
+  return Status::OK();
+}
+
+void XmlAlerter::Detect(const warehouse::IngestResult& ingest,
+                        std::vector<mqp::AtomicEvent>* out) const {
+  if (condition_count_ == 0) return;
+
+  // Op mask per element of the current version (new/updated).
+  std::unordered_map<const xml::Node*, uint8_t> ops;
+  std::unordered_set<const xml::Node*> deleted;
+  for (const xmldiff::ElementChange& change : ingest.diff.changes) {
+    if (change.op == ChangeOp::kDeleted) {
+      deleted.insert(change.element);
+    } else {
+      ops[change.element] |= OpBit(change.op);
+    }
+  }
+
+  XmlTraversal traversal(*this, ops, out);
+  if (ingest.current != nullptr && ingest.current->root != nullptr &&
+      ingest.meta.status != warehouse::DocStatus::kDeleted) {
+    auto words = traversal.Walk(*ingest.current->root, /*forced_ops=*/0);
+    traversal.EmitSelfContains(words);
+  }
+
+  // Deleted subtrees live in the previous version (or the current one when
+  // the whole document was deleted): walk each maximal deleted subtree once
+  // with the deleted bit forced.
+  for (const xml::Node* node : deleted) {
+    if (node->parent() != nullptr && deleted.count(node->parent()) != 0) {
+      continue;  // An ancestor covers this node.
+    }
+    traversal.Walk(*node, OpBit(ChangeOp::kDeleted));
+  }
+}
+
+}  // namespace xymon::alerters

@@ -1,0 +1,70 @@
+#ifndef XYMON_COMMON_ARENA_H_
+#define XYMON_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace xymon {
+
+/// Bump allocator backing the MQP hash-tree tables. The match path of the
+/// Monitoring Query Processor must not touch the general-purpose heap: the
+/// paper's design point is millions of documents per day, so cell storage is
+/// carved out of large arena blocks and freed wholesale.
+class Arena {
+ public:
+  explicit Arena(size_t block_size = 1 << 16) : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `n` bytes aligned to `align` (power of two). Alignment is of
+  /// the returned address itself, not merely the offset within the block.
+  void* Allocate(size_t n, size_t align = alignof(std::max_align_t)) {
+    if (!blocks_.empty()) {
+      uintptr_t base = reinterpret_cast<uintptr_t>(blocks_.back().data.get());
+      uintptr_t p = (base + pos_ + align - 1) & ~(uintptr_t{align} - 1);
+      if (p + n <= base + blocks_.back().size) {
+        pos_ = p + n - base;
+        return reinterpret_cast<void*>(p);
+      }
+    }
+    // Over-allocate so the aligned pointer always fits.
+    size_t want = n + align > block_size_ ? n + align : block_size_;
+    blocks_.push_back(Block{std::make_unique<char[]>(want), want});
+    allocated_bytes_ += want;
+    uintptr_t base = reinterpret_cast<uintptr_t>(blocks_.back().data.get());
+    uintptr_t p = (base + align - 1) & ~(uintptr_t{align} - 1);
+    pos_ = p + n - base;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Allocates and default-constructs an array of `n` Ts (T must be
+  /// trivially destructible: the arena never runs destructors).
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    T* p = static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+    for (size_t i = 0; i < n; ++i) new (p + i) T();
+    return p;
+  }
+
+  /// Total bytes reserved from the system. Reported by bench_memory.
+  size_t allocated_bytes() const { return allocated_bytes_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size;
+  };
+
+  size_t block_size_;
+  size_t pos_ = 0;
+  size_t allocated_bytes_ = 0;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace xymon
+
+#endif  // XYMON_COMMON_ARENA_H_

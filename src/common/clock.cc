@@ -1,0 +1,18 @@
+#include "src/common/clock.h"
+
+#include <ctime>
+
+namespace xymon {
+
+Timestamp WallClock::Now() const { return static_cast<Timestamp>(time(nullptr)); }
+
+std::string FormatTimestamp(Timestamp t) {
+  time_t tt = static_cast<time_t>(t);
+  struct tm tm_buf;
+  gmtime_r(&tt, &tm_buf);
+  char buf[32];
+  strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S", &tm_buf);
+  return buf;
+}
+
+}  // namespace xymon

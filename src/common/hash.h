@@ -1,0 +1,48 @@
+#ifndef XYMON_COMMON_HASH_H_
+#define XYMON_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace xymon {
+
+/// 64-bit FNV-1a. Used for document signatures, subtree hashes in the diff,
+/// and the MQP hash tables. Deterministic across runs (required: atomic event
+/// codes and stored signatures survive restarts).
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t Fnv1a(std::string_view data, uint64_t seed = kFnvOffset) {
+  uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Mixes an integer into an existing hash (for combining subtree hashes).
+/// Asymmetric: HashCombine(a, b) != HashCombine(b, a) in general, so child
+/// order affects subtree hashes.
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  // Multiply-then-add keeps the operands ordered; splitmix64 finalizer
+  // provides the avalanche.
+  uint64_t x = h * kFnvPrime + v + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Fast avalanche for 32-bit keys used by the MQP open-addressing tables.
+inline uint32_t HashU32(uint32_t x) {
+  x ^= x >> 16;
+  x *= 0x7feb352dU;
+  x ^= x >> 15;
+  x *= 0x846ca68bU;
+  x ^= x >> 16;
+  return x;
+}
+
+}  // namespace xymon
+
+#endif  // XYMON_COMMON_HASH_H_

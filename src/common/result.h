@@ -1,0 +1,78 @@
+#ifndef XYMON_COMMON_RESULT_H_
+#define XYMON_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace xymon {
+
+/// Either a value of type T or a non-ok Status. The usual monadic carrier for
+/// fallible constructors and parsers.
+///
+///   Result<Document> doc = Parser::Parse(text);
+///   if (!doc.ok()) return doc.status();
+///   Use(doc.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return std::move(doc);`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error Status: allows `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-ok status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a Result-returning expression, otherwise binds the
+/// value to `lhs`. Usage: XYMON_ASSIGN_OR_RETURN(auto doc, Parse(text));
+#define XYMON_ASSIGN_OR_RETURN(lhs, expr)          \
+  XYMON_ASSIGN_OR_RETURN_IMPL_(                    \
+      XYMON_CONCAT_(_xymon_result_, __LINE__), lhs, expr)
+
+#define XYMON_CONCAT_INNER_(a, b) a##b
+#define XYMON_CONCAT_(a, b) XYMON_CONCAT_INNER_(a, b)
+#define XYMON_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace xymon
+
+#endif  // XYMON_COMMON_RESULT_H_

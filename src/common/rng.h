@@ -1,0 +1,41 @@
+#ifndef XYMON_COMMON_RNG_H_
+#define XYMON_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace xymon {
+
+/// Deterministic splitmix64 generator. Workload generators (webstub, bench
+/// harnesses, property tests) use this so every experiment is reproducible
+/// from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xymon
+
+#endif  // XYMON_COMMON_RNG_H_

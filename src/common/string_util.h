@@ -1,0 +1,46 @@
+#ifndef XYMON_COMMON_STRING_UTIL_H_
+#define XYMON_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xymon {
+
+/// Returns true if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Returns true if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on any ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True for ASCII letters, digits, '_', '-', '.': the word characters the
+/// alerters index.
+bool IsWordChar(char c);
+
+/// Tokenizes text into lowercase words (maximal runs of word characters).
+/// This is the shared notion of "word" between the XML/HTML alerters and the
+/// `contains` conditions of the subscription language.
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+/// Last path segment of a URL ("http://a/b/index.html" -> "index.html").
+/// The paper's `filename =` condition.
+std::string_view UrlFilename(std::string_view url);
+
+}  // namespace xymon
+
+#endif  // XYMON_COMMON_STRING_UTIL_H_

@@ -1,0 +1,160 @@
+#ifndef XYMON_MANAGER_SUBSCRIPTION_MANAGER_H_
+#define XYMON_MANAGER_SUBSCRIPTION_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/alerters/pipeline.h"
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/manager/user_registry.h"
+#include "src/mqp/processor.h"
+#include "src/query/delta_tracker.h"
+#include "src/query/engine.h"
+#include "src/reporter/reporter.h"
+#include "src/storage/persistent_map.h"
+#include "src/sublang/ast.h"
+#include "src/sublang/validator.h"
+#include "src/trigger/trigger_engine.h"
+
+namespace xymon::manager {
+
+/// What the system needs to know when a complex event fires: which
+/// subscription/query it belongs to and how to build the notification
+/// payload (select clause + from binding).
+struct QueryBinding {
+  std::string subscription;
+  std::string query_name;
+  sublang::SelectClause select;
+  std::optional<sublang::MonitoringFrom> from;
+  std::vector<alerters::Condition> conditions;
+};
+
+/// The (Xyleme) Subscription Manager (paper §3): "chooses the internal codes
+/// of atomic events and (dynamically) warns the Alerters of the creation of
+/// new events ... controls in a similar manner the Monitoring Query
+/// Processor for managing complex events, the Trigger Engine for continuous
+/// queries and the Reporter(s) for reports."
+///
+/// Atomic-event codes are deduplicated across subscriptions: two
+/// subscriptions monitoring the same URL prefix share one code (and one
+/// entry in the alerter structures) — the paper's implicit factorization.
+/// Codes are refcounted so Unsubscribe retracts exactly the conditions no
+/// longer needed.
+///
+/// Persistence: AttachStorage() opens the recovery log (the paper's MySQL
+/// substitute) and replays stored subscriptions; every Subscribe /
+/// Unsubscribe is logged.
+class SubscriptionManager {
+ public:
+  struct Components {
+    mqp::MonitoringQueryProcessor* mqp = nullptr;
+    alerters::UrlAlerter* url_alerter = nullptr;
+    alerters::XmlAlerter* xml_alerter = nullptr;
+    alerters::HtmlAlerter* html_alerter = nullptr;
+    alerters::AlertPipeline* pipeline = nullptr;
+    trigger::TriggerEngine* trigger_engine = nullptr;
+    reporter::Reporter* reporter = nullptr;
+    query::QueryEngine* query_engine = nullptr;
+    const Clock* clock = nullptr;
+  };
+
+  explicit SubscriptionManager(Components components,
+                               sublang::ValidatorOptions validator_options = {})
+      : components_(components),
+        validator_options_(std::move(validator_options)) {}
+
+  /// Opens (or creates) the durability log at `path` and recovers every
+  /// stored subscription into the live structures.
+  Status AttachStorage(const std::string& path);
+
+  /// Parses, validates and activates a subscription; returns its name.
+  Result<std::string> Subscribe(const std::string& text,
+                                const std::string& email);
+
+  /// Subscribes on behalf of a registered account: the user's e-mail is the
+  /// recipient and privileged users bypass the cost budget (§5.4). Requires
+  /// set_user_registry.
+  Result<std::string> SubscribeAs(const std::string& user_name,
+                                  const std::string& text);
+
+  void set_user_registry(const UserRegistry* users) { users_ = users; }
+
+  /// Retracts a subscription: complex events, condition codes (refcounted),
+  /// triggers, report registration and the stored record.
+  Status Unsubscribe(const std::string& name);
+
+  /// Adds another e-mail recipient to a live subscription (the paper's
+  /// user registry keeps addresses in MySQL; recipients persist with the
+  /// subscription record). AlreadyExists if the address is registered.
+  Status AddRecipient(const std::string& name, const std::string& email);
+
+  /// Replaces a live subscription with a new definition (paper §4.1:
+  /// "subscriptions keep being added, removed and updated while the system
+  /// is running"). `text` must parse to the same subscription name; the
+  /// swap is atomic — on any failure the old subscription stays active.
+  Status Modify(const std::string& name, const std::string& text);
+
+  /// Binding for a fired complex event; nullptr if unknown.
+  const QueryBinding* FindBinding(mqp::ComplexEventId id) const;
+
+  /// True if `subscription` has a (monitoring or continuous) query named
+  /// `query` — target validation for virtual subscriptions.
+  bool HasQuery(const std::string& subscription,
+                const std::string& query) const;
+
+  size_t subscription_count() const { return subs_.size(); }
+  size_t atomic_event_count() const { return codes_.size(); }
+
+  /// Refresh hints ("refresh URL weekly") for the crawler: url -> period.
+  const std::map<std::string, Timestamp>& refresh_hints() const {
+    return refresh_hints_;
+  }
+
+ private:
+  struct CodeEntry {
+    alerters::Condition condition;
+    mqp::AtomicEvent code;
+    uint32_t refcount;
+  };
+  struct SubRecord {
+    std::vector<std::string> recipients;
+    std::string text;
+    std::vector<std::string> query_names;  // monitoring + continuous
+    std::vector<mqp::ComplexEventId> complex_events;
+    std::vector<std::string> condition_keys;  // one per acquired reference
+    std::vector<trigger::TriggerEngine::TriggerId> triggers;
+    std::vector<std::shared_ptr<query::DeltaTracker>> trackers;
+  };
+
+  Result<std::string> SubscribeInternal(const std::string& text,
+                                        const std::string& email,
+                                        bool persist,
+                                        bool privileged = false);
+  Result<mqp::AtomicEvent> AcquireCode(const alerters::Condition& condition,
+                                       SubRecord* record);
+  void ReleaseCode(const std::string& key);
+  Status WireContinuousQuery(const std::string& sub_name,
+                             const sublang::ContinuousQueryAst& cq,
+                             SubRecord* record);
+  void RollbackSubscription(SubRecord* record);
+
+  Components components_;
+  sublang::ValidatorOptions validator_options_;
+  std::unordered_map<std::string, CodeEntry> codes_;
+  mqp::AtomicEvent next_code_ = 1;
+  mqp::ComplexEventId next_complex_ = 1;
+  std::map<std::string, SubRecord> subs_;
+  std::unordered_map<mqp::ComplexEventId, QueryBinding> bindings_;
+  std::map<std::string, Timestamp> refresh_hints_;
+  std::optional<storage::PersistentMap> store_;
+  const UserRegistry* users_ = nullptr;
+};
+
+}  // namespace xymon::manager
+
+#endif  // XYMON_MANAGER_SUBSCRIPTION_MANAGER_H_

@@ -1,0 +1,53 @@
+#ifndef XYMON_MANAGER_USER_REGISTRY_H_
+#define XYMON_MANAGER_USER_REGISTRY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/storage/persistent_map.h"
+
+namespace xymon::manager {
+
+/// An account known to the subscription system.
+struct User {
+  std::string name;
+  std::string email;
+  /// Privileged users may register subscriptions above the cost budget
+  /// (paper §5.4: "restrict the right of specifying expensive subscriptions
+  /// to users with appropriate privileges").
+  bool privileged = false;
+};
+
+/// The user store (paper §3: "Information about users such as email
+/// addresses is also stored in this [MySQL] database"). Optionally durable
+/// via AttachStorage.
+class UserRegistry {
+ public:
+  /// Opens the durable store and recovers existing accounts.
+  Status AttachStorage(const std::string& path);
+
+  Status AddUser(const User& user);
+  Status RemoveUser(const std::string& name);
+  /// Flips the privilege bit.
+  Status SetPrivileged(const std::string& name, bool privileged);
+
+  /// nullopt if unknown.
+  std::optional<User> Find(const std::string& name) const;
+
+  size_t user_count() const { return users_.size(); }
+
+ private:
+  static std::string Encode(const User& user);
+  static std::optional<User> Decode(const std::string& name,
+                                    std::string_view record);
+  Status Persist(const User& user);
+
+  std::map<std::string, User> users_;
+  std::optional<storage::PersistentMap> store_;
+};
+
+}  // namespace xymon::manager
+
+#endif  // XYMON_MANAGER_USER_REGISTRY_H_

@@ -1,0 +1,301 @@
+#include "src/mqp/aes_matcher.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/hash.h"
+
+namespace xymon::mqp {
+
+/// Intrusive mark chain: most cells carry zero or one mark, duplicates of an
+/// identical event set chain behind it.
+struct AesMatcher::MarkNode {
+  ComplexEventId id;
+  MarkNode* next;
+};
+
+/// Open-addressing cell. `code == kNoAtomicEvent` means empty. Cells are
+/// never physically removed (Erase only unlinks marks), so no tombstones.
+struct AesMatcher::Cell {
+  AtomicEvent code = kNoAtomicEvent;
+  MarkNode* marks = nullptr;
+  Table* child = nullptr;
+};
+
+/// Power-of-two open-addressing table with linear probing.
+struct AesMatcher::Table {
+  Cell* cells;
+  uint32_t mask;  // capacity - 1
+  uint32_t used;
+};
+
+AesMatcher::AesMatcher(const Options& options) : options_(options) {
+  root_ = NewTable(options_.root_capacity);
+}
+
+AesMatcher::~AesMatcher() = default;  // Arena frees everything wholesale.
+
+AesMatcher::Table* AesMatcher::NewTable(uint32_t capacity) {
+  // Round up to a power of two >= 2.
+  uint32_t cap = 2;
+  while (cap < capacity) cap <<= 1;
+  Table* t = static_cast<Table*>(arena_.Allocate(sizeof(Table), alignof(Table)));
+  t->cells = arena_.AllocateArray<Cell>(cap);
+  t->mask = cap - 1;
+  t->used = 0;
+  return t;
+}
+
+AesMatcher::Cell* AesMatcher::FindCell(Table* table, AtomicEvent code) const {
+  uint32_t i = HashU32(code) & table->mask;
+  while (true) {
+    ++stats_.lookups;
+    Cell& c = table->cells[i];
+    if (c.code == code) return &c;
+    if (c.code == kNoAtomicEvent) return nullptr;
+    i = (i + 1) & table->mask;
+  }
+}
+
+void AesMatcher::Grow(Table* table) {
+  uint32_t old_cap = table->mask + 1;
+  uint32_t new_cap = old_cap * 2;
+  Cell* old_cells = table->cells;
+  table->cells = arena_.AllocateArray<Cell>(new_cap);
+  table->mask = new_cap - 1;
+  for (uint32_t i = 0; i < old_cap; ++i) {
+    if (old_cells[i].code == kNoAtomicEvent) continue;
+    uint32_t j = HashU32(old_cells[i].code) & table->mask;
+    while (table->cells[j].code != kNoAtomicEvent) j = (j + 1) & table->mask;
+    table->cells[j] = old_cells[i];
+  }
+  // Old cell array stays in the arena (bump allocator); accounted by
+  // MemoryUsage, reclaimed when the matcher is destroyed.
+}
+
+AesMatcher::Cell* AesMatcher::FindOrInsertCell(Table** table_slot,
+                                               AtomicEvent code) {
+  if (*table_slot == nullptr) *table_slot = NewTable(options_.child_capacity);
+  Table* table = *table_slot;
+  // Grow before 70% load *including this insert*: linear probing requires at
+  // least one empty cell at all times or a miss would probe forever.
+  if ((table->used + 1) * 10 >= (table->mask + 1) * 7) Grow(table);
+  uint32_t i = HashU32(code) & table->mask;
+  while (true) {
+    Cell& c = table->cells[i];
+    if (c.code == code) return &c;
+    if (c.code == kNoAtomicEvent) {
+      c.code = code;
+      ++table->used;
+      return &c;
+    }
+    i = (i + 1) & table->mask;
+  }
+}
+
+Status AesMatcher::Insert(ComplexEventId id, const EventSet& events) {
+  if (events.empty()) {
+    return Status::InvalidArgument("complex event must be nonempty");
+  }
+  if (!IsOrderedSet(events)) {
+    return Status::InvalidArgument("complex event must be strictly ascending");
+  }
+  if (registered_.count(id) != 0) {
+    return Status::AlreadyExists("complex event id " + std::to_string(id));
+  }
+
+  Table* table = root_;
+  Cell* cell = nullptr;
+  for (size_t i = 0; i < events.size(); ++i) {
+    Table** slot = (i == 0) ? &root_ : &cell->child;
+    cell = FindOrInsertCell(slot, events[i]);
+    table = *slot;
+    (void)table;
+  }
+  MarkNode* mark =
+      static_cast<MarkNode*>(arena_.Allocate(sizeof(MarkNode), alignof(MarkNode)));
+  mark->id = id;
+  mark->next = cell->marks;
+  cell->marks = mark;
+  registered_.emplace(id, events);
+  return Status::OK();
+}
+
+Status AesMatcher::Erase(ComplexEventId id) {
+  auto it = registered_.find(id);
+  if (it == registered_.end()) {
+    return Status::NotFound("complex event id " + std::to_string(id));
+  }
+  const EventSet& events = it->second;
+  Table* table = root_;
+  Cell* cell = nullptr;
+  for (AtomicEvent a : events) {
+    cell = FindCell(table, a);
+    assert(cell != nullptr && "registry and structure out of sync");
+    table = cell->child;
+  }
+  // Unlink the mark; the MarkNode stays in the arena (freed wholesale).
+  MarkNode** link = &cell->marks;
+  while (*link != nullptr && (*link)->id != id) link = &(*link)->next;
+  assert(*link != nullptr && "mark missing for registered complex event");
+  *link = (*link)->next;
+  registered_.erase(it);
+  return Status::OK();
+}
+
+size_t AesMatcher::PosOf(AtomicEvent code) const {
+  if (code >= doc_epoch_.size() || doc_epoch_[code] != epoch_) {
+    return SIZE_MAX;
+  }
+  return doc_pos_[code];
+}
+
+void AesMatcher::Notif(const Table* table, const AtomicEvent* s, size_t n,
+                       size_t start,
+                       std::vector<ComplexEventId>* out) const {
+  // Iterate whichever side is smaller (the paper's "variable fan out"
+  // design point): the large root table is probed once per suffix element;
+  // small subtables (O(k) cells, §4.2's analysis) are enumerated, with O(1)
+  // membership testing against the document set ("immediate testing of sets
+  // of atomic events"). This is what makes the per-document cost O(s·log k)
+  // instead of O(s²).
+  if (options_.adaptive_iteration && table->used <= n - start) {
+    for (uint32_t ci = 0; ci <= table->mask; ++ci) {
+      const Cell& c = table->cells[ci];
+      if (c.code == kNoAtomicEvent) continue;
+      ++stats_.lookups;
+      size_t pos = PosOf(c.code);
+      if (pos == SIZE_MAX || pos < start) continue;
+      ++stats_.cells_visited;
+      for (const MarkNode* m = c.marks; m != nullptr; m = m->next) {
+        out->push_back(m->id);
+        ++stats_.notifications;
+      }
+      if (c.child != nullptr && pos + 1 < n) {
+        Notif(c.child, s, n, pos + 1, out);
+      }
+    }
+    return;
+  }
+  for (size_t i = start; i < n; ++i) {
+    const Cell* c = FindCell(const_cast<Table*>(table), s[i]);
+    if (c == nullptr) continue;
+    ++stats_.cells_visited;
+    for (const MarkNode* m = c->marks; m != nullptr; m = m->next) {
+      out->push_back(m->id);
+      ++stats_.notifications;
+    }
+    if (c->child != nullptr && i + 1 < n) {
+      Notif(c->child, s, n, i + 1, out);
+    }
+  }
+}
+
+void AesMatcher::Match(const EventSet& s,
+                       std::vector<ComplexEventId>* out) const {
+  ++stats_.documents;
+  assert(IsOrderedSet(s));
+  if (s.empty()) return;
+  // Build the per-document position index (epoch-stamped: no clearing).
+  ++epoch_;
+  AtomicEvent max_code = s.back();
+  if (max_code >= doc_epoch_.size()) {
+    doc_epoch_.resize(max_code + 1, 0);
+    doc_pos_.resize(max_code + 1, 0);
+  }
+  for (size_t i = 0; i < s.size(); ++i) {
+    doc_pos_[s[i]] = static_cast<uint32_t>(i);
+    doc_epoch_[s[i]] = epoch_;
+  }
+  Notif(root_, s.data(), s.size(), 0, out);
+}
+
+size_t AesMatcher::LiveBytes() const { return LiveBytesOf(root_); }
+
+size_t AesMatcher::LiveBytesOf(const Table* table) const {
+  size_t bytes =
+      sizeof(Table) + (static_cast<size_t>(table->mask) + 1) * sizeof(Cell);
+  for (uint32_t i = 0; i <= table->mask; ++i) {
+    const Cell& c = table->cells[i];
+    if (c.code == kNoAtomicEvent) continue;
+    for (const MarkNode* m = c.marks; m != nullptr; m = m->next) {
+      bytes += sizeof(MarkNode);
+    }
+    if (c.child != nullptr) bytes += LiveBytesOf(c.child);
+  }
+  return bytes;
+}
+
+namespace {
+
+/// Counts occupied cells/marks of `table` and its descendants into stats.
+/// Returns the occupied-cell count of this subtree.
+template <typename Table, typename Cell, typename Stats>
+size_t WalkStructure(const Table* table, size_t level, Stats* stats,
+                     const Cell* /*tag*/) {
+  if (stats->tables_per_level.size() <= level) {
+    stats->tables_per_level.resize(level + 1, 0);
+    stats->cells_per_level.resize(level + 1, 0);
+    stats->marks_per_level.resize(level + 1, 0);
+  }
+  ++stats->tables_per_level[level];
+  if (level + 1 > stats->max_depth) stats->max_depth = level + 1;
+  size_t cells = 0;
+  for (uint32_t i = 0; i <= table->mask; ++i) {
+    const auto& c = table->cells[i];
+    if (c.code == kNoAtomicEvent) continue;
+    ++cells;
+    ++stats->cells_per_level[level];
+    for (const auto* m = c.marks; m != nullptr; m = m->next) {
+      ++stats->marks_per_level[level];
+    }
+    if (c.child != nullptr) {
+      cells += WalkStructure(c.child, level + 1, stats,
+                             static_cast<const Cell*>(nullptr));
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+AesMatcher::StructureStats AesMatcher::CollectStructureStats() const {
+  StructureStats stats;
+  WalkStructure(root_, 0, &stats, static_cast<const Cell*>(nullptr));
+  // Substructure sizes: cells under (and including) each root cell.
+  size_t substructures = 0;
+  size_t total = 0;
+  for (uint32_t i = 0; i <= root_->mask; ++i) {
+    const Cell& c = root_->cells[i];
+    if (c.code == kNoAtomicEvent) continue;
+    size_t cells = 1;
+    if (c.child != nullptr) {
+      StructureStats scratch;
+      cells += WalkStructure(c.child, 0, &scratch,
+                             static_cast<const Cell*>(nullptr));
+    }
+    ++substructures;
+    total += cells;
+    if (cells > stats.max_substructure_cells) {
+      stats.max_substructure_cells = cells;
+    }
+  }
+  if (substructures > 0) {
+    stats.avg_substructure_cells =
+        static_cast<double>(total) / static_cast<double>(substructures);
+  }
+  return stats;
+}
+
+size_t AesMatcher::MemoryUsage() const {
+  // Structure plus the Erase registry (id -> event set).
+  size_t registry = registered_.size() *
+                    (sizeof(ComplexEventId) + sizeof(EventSet) + 32);
+  for (const auto& [id, set] : registered_) {
+    (void)id;
+    registry += set.capacity() * sizeof(AtomicEvent);
+  }
+  return arena_.allocated_bytes() + registry;
+}
+
+}  // namespace xymon::mqp

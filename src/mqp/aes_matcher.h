@@ -1,0 +1,127 @@
+#ifndef XYMON_MQP_AES_MATCHER_H_
+#define XYMON_MQP_AES_MATCHER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/arena.h"
+#include "src/mqp/matcher.h"
+
+namespace xymon::mqp {
+
+/// The paper's "Atomic Event Sets" algorithm (§4.2, Figure 4).
+///
+/// The structure is a tree of hash tables. The root table H maps every
+/// atomic event a that starts some complex event to a cell; the cell for the
+/// prefix (a1..ai) lives in table H_{a1..a(i-1)}. A cell carries
+///   * marks — the complex events exactly equal to this prefix, and
+///   * a child table for longer complex events sharing the prefix.
+///
+/// Matching an ordered document set S = (s1..sn) runs
+///
+///   Notif(T, (s1..sn)):
+///     for i in 1..n:
+///       if T[si] is marked      -> emit its marks
+///       if T[si] has a subtable -> Notif(subtable, (s(i+1)..sn))
+///
+/// entered once at the root with the full S. Observed complexity (paper and
+/// bench_fig5/bench_fig6): O(s · log k) per document, independent of D — a
+/// cell's substructure holds O(k) cells, where k is the mean number of
+/// complex events per atomic event.
+///
+/// Cells and mark chains are carved from an Arena: the match path performs no
+/// heap allocation, matching the design point of millions of documents per
+/// day on one PC. Not thread-safe; the system runs one AesMatcher per MQP
+/// partition (see bench_distribution).
+class AesMatcher : public Matcher {
+ public:
+  struct Options {
+    /// Initial capacity of the root table. Sizing it near Card(A) avoids
+    /// rehash churn during bulk registration; it grows automatically.
+    uint32_t root_capacity = 64;
+    /// Initial capacity of child tables (the paper's "variable fan out").
+    uint32_t child_capacity = 2;
+    /// Iterate the smaller side during matching (small subtables are
+    /// enumerated against an O(1) per-document membership index). Disabling
+    /// this reproduces the naive always-probe-the-suffix strategy — the
+    /// O(s²) behaviour bench_ablation quantifies.
+    bool adaptive_iteration = true;
+  };
+
+  AesMatcher() : AesMatcher(Options{}) {}
+  explicit AesMatcher(const Options& options);
+  ~AesMatcher() override;
+
+  AesMatcher(const AesMatcher&) = delete;
+  AesMatcher& operator=(const AesMatcher&) = delete;
+
+  Status Insert(ComplexEventId id, const EventSet& events) override;
+  Status Erase(ComplexEventId id) override;
+  void Match(const EventSet& s,
+             std::vector<ComplexEventId>* out) const override;
+  size_t size() const override { return registered_.size(); }
+  size_t MemoryUsage() const override;
+  const MatchStats& stats() const override { return stats_; }
+  const char* name() const override { return "aes"; }
+
+  /// Structure-only bytes (arena blocks); excludes the id→set registry that
+  /// exists solely to support Erase. Includes growth waste: superseded cell
+  /// arrays stay in the arena until the matcher dies.
+  size_t StructureBytes() const { return arena_.allocated_bytes(); }
+
+  /// Bytes of the *live* structure only (reachable tables, cells and mark
+  /// nodes) — what a compacting rebuild would occupy. bench_memory reports
+  /// both; the gap is bump-allocator growth waste.
+  size_t LiveBytes() const;
+
+  /// Shape of the hash tree, for the algorithm analysis the paper defers
+  /// ("We started a formal study of the Monitoring Query Processor's
+  /// algorithm", §7). Per depth level: table/cell/mark counts. The paper's
+  /// key structural claim — each first-level substructure holds O(k) cells —
+  /// is checked from avg_substructure_cells vs k.
+  struct StructureStats {
+    std::vector<size_t> tables_per_level;
+    std::vector<size_t> cells_per_level;   // occupied cells
+    std::vector<size_t> marks_per_level;
+    size_t max_depth = 0;
+    /// Mean occupied cells beneath one root cell (its whole substructure).
+    double avg_substructure_cells = 0;
+    /// Largest substructure (the "Amazon URL" hotspot, §4.2).
+    size_t max_substructure_cells = 0;
+  };
+  StructureStats CollectStructureStats() const;
+
+ private:
+  struct MarkNode;
+  struct Table;
+  struct Cell;
+
+  Table* NewTable(uint32_t capacity);
+  Cell* FindCell(Table* table, AtomicEvent code) const;
+  Cell* FindOrInsertCell(Table** table_slot, AtomicEvent code);
+  void Grow(Table* table);
+
+  void Notif(const Table* table, const AtomicEvent* s, size_t n, size_t start,
+             std::vector<ComplexEventId>* out) const;
+  size_t LiveBytesOf(const Table* table) const;
+  /// Position of `code` in the current document's set, or SIZE_MAX.
+  size_t PosOf(AtomicEvent code) const;
+
+  Options options_;
+  mutable Arena arena_;
+  Table* root_;
+  std::unordered_map<ComplexEventId, EventSet> registered_;
+  mutable MatchStats stats_;
+
+  // Per-document O(1) membership ("immediate testing of sets of atomic
+  // events", §4.2): position of each code in the current document's ordered
+  // set, epoch-stamped so no clearing between documents.
+  mutable std::vector<uint32_t> doc_pos_;
+  mutable std::vector<uint64_t> doc_epoch_;
+  mutable uint64_t epoch_ = 0;
+};
+
+}  // namespace xymon::mqp
+
+#endif  // XYMON_MQP_AES_MATCHER_H_

@@ -1,0 +1,50 @@
+#include "src/mqp/brute_matcher.h"
+
+#include <algorithm>
+
+namespace xymon::mqp {
+
+Status BruteForceMatcher::Insert(ComplexEventId id, const EventSet& events) {
+  if (events.empty()) {
+    return Status::InvalidArgument("complex event must be nonempty");
+  }
+  if (!IsOrderedSet(events)) {
+    return Status::InvalidArgument("complex event must be strictly ascending");
+  }
+  if (!registered_.emplace(id, events).second) {
+    return Status::AlreadyExists("complex event id " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status BruteForceMatcher::Erase(ComplexEventId id) {
+  if (registered_.erase(id) == 0) {
+    return Status::NotFound("complex event id " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+void BruteForceMatcher::Match(const EventSet& s,
+                              std::vector<ComplexEventId>* out) const {
+  ++stats_.documents;
+  for (const auto& [id, events] : registered_) {
+    ++stats_.cells_visited;
+    stats_.lookups += events.size();
+    if (std::includes(s.begin(), s.end(), events.begin(), events.end())) {
+      out->push_back(id);
+      ++stats_.notifications;
+    }
+  }
+}
+
+size_t BruteForceMatcher::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& [id, set] : registered_) {
+    (void)id;
+    bytes += sizeof(ComplexEventId) + sizeof(EventSet) +
+             set.capacity() * sizeof(AtomicEvent) + 32;
+  }
+  return bytes;
+}
+
+}  // namespace xymon::mqp

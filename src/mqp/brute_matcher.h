@@ -1,0 +1,31 @@
+#ifndef XYMON_MQP_BRUTE_MATCHER_H_
+#define XYMON_MQP_BRUTE_MATCHER_H_
+
+#include <unordered_map>
+
+#include "src/mqp/matcher.h"
+
+namespace xymon::mqp {
+
+/// Baseline and correctness oracle: tests every registered complex event for
+/// containment in S with a two-pointer merge. O(Card(C) · D) per document —
+/// hopeless at the paper's scale, which is the point of bench_baselines.
+class BruteForceMatcher : public Matcher {
+ public:
+  Status Insert(ComplexEventId id, const EventSet& events) override;
+  Status Erase(ComplexEventId id) override;
+  void Match(const EventSet& s,
+             std::vector<ComplexEventId>* out) const override;
+  size_t size() const override { return registered_.size(); }
+  size_t MemoryUsage() const override;
+  const MatchStats& stats() const override { return stats_; }
+  const char* name() const override { return "brute"; }
+
+ private:
+  std::unordered_map<ComplexEventId, EventSet> registered_;
+  mutable MatchStats stats_;
+};
+
+}  // namespace xymon::mqp
+
+#endif  // XYMON_MQP_BRUTE_MATCHER_H_

@@ -1,0 +1,81 @@
+#include "src/mqp/counting_matcher.h"
+
+#include <algorithm>
+
+namespace xymon::mqp {
+
+Status CountingMatcher::Insert(ComplexEventId id, const EventSet& events) {
+  if (events.empty()) {
+    return Status::InvalidArgument("complex event must be nonempty");
+  }
+  if (!IsOrderedSet(events)) {
+    return Status::InvalidArgument("complex event must be strictly ascending");
+  }
+  if (required_.count(id) != 0) {
+    return Status::AlreadyExists("complex event id " + std::to_string(id));
+  }
+  for (AtomicEvent a : events) {
+    postings_[a].push_back(id);
+  }
+  required_.emplace(id, static_cast<uint32_t>(events.size()));
+  registered_.emplace(id, events);
+  return Status::OK();
+}
+
+Status CountingMatcher::Erase(ComplexEventId id) {
+  auto it = registered_.find(id);
+  if (it == registered_.end()) {
+    return Status::NotFound("complex event id " + std::to_string(id));
+  }
+  for (AtomicEvent a : it->second) {
+    auto& list = postings_[a];
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+    if (list.empty()) postings_.erase(a);
+  }
+  required_.erase(id);
+  registered_.erase(it);
+  return Status::OK();
+}
+
+void CountingMatcher::Match(const EventSet& s,
+                            std::vector<ComplexEventId>* out) const {
+  ++stats_.documents;
+  ++epoch_;
+  for (AtomicEvent a : s) {
+    ++stats_.lookups;
+    auto it = postings_.find(a);
+    if (it == postings_.end()) continue;
+    for (ComplexEventId id : it->second) {
+      ++stats_.cells_visited;
+      if (id >= counts_.size()) {
+        counts_.resize(id + 1, 0);
+        count_epoch_.resize(id + 1, 0);
+      }
+      if (count_epoch_[id] != epoch_) {
+        count_epoch_[id] = epoch_;
+        counts_[id] = 0;
+      }
+      if (++counts_[id] == required_.at(id)) {
+        out->push_back(id);
+        ++stats_.notifications;
+      }
+    }
+  }
+}
+
+size_t CountingMatcher::MemoryUsage() const {
+  size_t bytes = counts_.capacity() * sizeof(uint32_t) +
+                 count_epoch_.capacity() * sizeof(uint64_t);
+  for (const auto& [a, list] : postings_) {
+    (void)a;
+    bytes += sizeof(AtomicEvent) + list.capacity() * sizeof(ComplexEventId) + 32;
+  }
+  for (const auto& [id, set] : registered_) {
+    (void)id;
+    bytes += 2 * sizeof(ComplexEventId) + sizeof(uint32_t) +
+             set.capacity() * sizeof(AtomicEvent) + 64;
+  }
+  return bytes;
+}
+
+}  // namespace xymon::mqp

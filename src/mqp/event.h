@@ -1,0 +1,46 @@
+#ifndef XYMON_MQP_EVENT_H_
+#define XYMON_MQP_EVENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xymon::mqp {
+
+/// Code of an atomic event. The Subscription Manager assigns dense codes;
+/// the MQP never interprets them (paper §4.1: "no semantic knowledge").
+using AtomicEvent = uint32_t;
+
+/// Identifier of a complex event (a conjunction of atomic events; one per
+/// monitoring query).
+using ComplexEventId = uint32_t;
+
+constexpr AtomicEvent kNoAtomicEvent = UINT32_MAX;
+constexpr ComplexEventId kNoComplexEvent = UINT32_MAX;
+
+/// An ordered set of atomic events: strictly ascending codes, no duplicates.
+/// Both complex events (the C_i) and per-document detections (S) use this
+/// representation — the AES algorithm depends on the shared ordering
+/// (paper §4.1 "it is convenient to assume some ordering").
+using EventSet = std::vector<AtomicEvent>;
+
+/// True iff `s` is strictly ascending (the EventSet invariant).
+inline bool IsOrderedSet(const EventSet& s) {
+  for (size_t i = 1; i < s.size(); ++i) {
+    if (s[i - 1] >= s[i]) return false;
+  }
+  return true;
+}
+
+/// Counters exported by matchers; bench_fig5/6 derive their series from the
+/// per-document timings, these feed the ablation analysis.
+struct MatchStats {
+  uint64_t documents = 0;       // Match() calls
+  uint64_t lookups = 0;         // hash-table probes (AES) / merges (others)
+  uint64_t cells_visited = 0;   // cells touched on the match path
+  uint64_t notifications = 0;   // complex events emitted
+};
+
+}  // namespace xymon::mqp
+
+#endif  // XYMON_MQP_EVENT_H_

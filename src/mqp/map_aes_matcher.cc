@@ -1,0 +1,94 @@
+#include "src/mqp/map_aes_matcher.h"
+
+#include <algorithm>
+
+namespace xymon::mqp {
+
+Status MapAesMatcher::Insert(ComplexEventId id, const EventSet& events) {
+  if (events.empty()) {
+    return Status::InvalidArgument("complex event must be nonempty");
+  }
+  if (!IsOrderedSet(events)) {
+    return Status::InvalidArgument("complex event must be strictly ascending");
+  }
+  if (registered_.count(id) != 0) {
+    return Status::AlreadyExists("complex event id " + std::to_string(id));
+  }
+  Table* table = &root_;
+  Cell* cell = nullptr;
+  for (size_t i = 0; i < events.size(); ++i) {
+    cell = &(*table)[events[i]];
+    if (i + 1 < events.size()) {
+      if (cell->child == nullptr) cell->child = std::make_unique<Table>();
+      table = cell->child.get();
+    }
+  }
+  cell->marks.push_back(id);
+  registered_.emplace(id, events);
+  return Status::OK();
+}
+
+Status MapAesMatcher::Erase(ComplexEventId id) {
+  auto it = registered_.find(id);
+  if (it == registered_.end()) {
+    return Status::NotFound("complex event id " + std::to_string(id));
+  }
+  Table* table = &root_;
+  Cell* cell = nullptr;
+  for (AtomicEvent a : it->second) {
+    cell = &(*table)[a];
+    if (cell->child != nullptr) table = cell->child.get();
+  }
+  auto& marks = cell->marks;
+  marks.erase(std::remove(marks.begin(), marks.end(), id), marks.end());
+  registered_.erase(it);
+  return Status::OK();
+}
+
+void MapAesMatcher::Notif(const Table& table, const AtomicEvent* s, size_t n,
+                          std::vector<ComplexEventId>* out) const {
+  for (size_t i = 0; i < n; ++i) {
+    ++stats_.lookups;
+    auto it = table.find(s[i]);
+    if (it == table.end()) continue;
+    ++stats_.cells_visited;
+    for (ComplexEventId id : it->second.marks) {
+      out->push_back(id);
+      ++stats_.notifications;
+    }
+    if (it->second.child != nullptr && i + 1 < n) {
+      Notif(*it->second.child, s + i + 1, n - i - 1, out);
+    }
+  }
+}
+
+void MapAesMatcher::Match(const EventSet& s,
+                          std::vector<ComplexEventId>* out) const {
+  ++stats_.documents;
+  if (s.empty()) return;
+  Notif(root_, s.data(), s.size(), out);
+}
+
+size_t MapAesMatcher::TableBytes(const Table& table) {
+  // unordered_map node: bucket pointer share + node header + key + Cell.
+  size_t bytes = table.bucket_count() * sizeof(void*) + 56;
+  for (const auto& [code, cell] : table) {
+    (void)code;
+    bytes += 16 + sizeof(AtomicEvent) + sizeof(Cell) +
+             cell.marks.capacity() * sizeof(ComplexEventId);
+    if (cell.child != nullptr) bytes += TableBytes(*cell.child);
+  }
+  return bytes;
+}
+
+size_t MapAesMatcher::MemoryUsage() const {
+  size_t bytes = TableBytes(root_);
+  for (const auto& [id, set] : registered_) {
+    (void)id;
+    bytes += 2 * sizeof(ComplexEventId) + sizeof(EventSet) +
+             set.capacity() * sizeof(AtomicEvent) + 64;
+  }
+  return bytes;
+}
+
+}  // namespace xymon::mqp

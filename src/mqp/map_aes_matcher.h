@@ -1,0 +1,48 @@
+#ifndef XYMON_MQP_MAP_AES_MATCHER_H_
+#define XYMON_MQP_MAP_AES_MATCHER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mqp/matcher.h"
+
+namespace xymon::mqp {
+
+/// Ablation variant of the AES structure: the same hash tree, but built
+/// from `std::unordered_map` tables and node-per-cell heap allocation
+/// instead of arena-backed open addressing. Matching semantics are
+/// identical (tests enforce it); bench_ablation quantifies what the custom
+/// cells buy in time and memory — the "arena tables vs std::unordered_map
+/// cells" design choice called out in DESIGN.md §7.
+class MapAesMatcher : public Matcher {
+ public:
+  Status Insert(ComplexEventId id, const EventSet& events) override;
+  Status Erase(ComplexEventId id) override;
+  void Match(const EventSet& s,
+             std::vector<ComplexEventId>* out) const override;
+  size_t size() const override { return registered_.size(); }
+  size_t MemoryUsage() const override;
+  const MatchStats& stats() const override { return stats_; }
+  const char* name() const override { return "aes-map"; }
+
+ private:
+  struct Cell;
+  using Table = std::unordered_map<AtomicEvent, Cell>;
+  struct Cell {
+    std::vector<ComplexEventId> marks;
+    std::unique_ptr<Table> child;
+  };
+
+  void Notif(const Table& table, const AtomicEvent* s, size_t n,
+             std::vector<ComplexEventId>* out) const;
+  static size_t TableBytes(const Table& table);
+
+  Table root_;
+  std::unordered_map<ComplexEventId, EventSet> registered_;
+  mutable MatchStats stats_;
+};
+
+}  // namespace xymon::mqp
+
+#endif  // XYMON_MQP_MAP_AES_MATCHER_H_

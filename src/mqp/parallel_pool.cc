@@ -1,0 +1,153 @@
+#include "src/mqp/parallel_pool.h"
+
+namespace xymon::mqp {
+
+ParallelMqpPool::ParallelMqpPool(size_t workers,
+                                 NotificationCallback callback)
+    : callback_(std::move(callback)) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->matcher = std::make_unique<AesMatcher>();
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([this, w] { WorkerLoop(w); });
+  }
+}
+
+ParallelMqpPool::~ParallelMqpPool() {
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(worker->mutex);
+      worker->stop = true;
+    }
+    worker->cv.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+void ParallelMqpPool::WorkerLoop(Worker* worker) {
+  std::vector<ComplexEventId> matches;
+  std::deque<AlertMessage> batch;
+  while (true) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(worker->mutex);
+      worker->cv.wait(lock, [worker] {
+        return worker->stop || (!worker->paused && !worker->queue.empty());
+      });
+      if (worker->stop) return;
+      // Drain the whole queue in one lock acquisition: per-alert locking
+      // would dominate the ~10 µs match cost.
+      batch.swap(worker->queue);
+      worker->busy = true;
+    }
+    for (AlertMessage& alert : batch) {
+      matches.clear();
+      worker->matcher->Match(alert.events, &matches);
+      for (ComplexEventId id : matches) {
+        callback_(
+            MqpNotification{id, alert.docid, alert.url, alert.info_xml});
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(worker->mutex);
+      worker->busy = false;
+      worker->processed += batch.size();
+    }
+    worker->cv.notify_all();  // Wake Flush/Pause waiters.
+  }
+}
+
+void ParallelMqpPool::PauseAll() {
+  // Two phases: stop new work, then wait for in-flight matches to finish,
+  // so Register never races a Match on any replica.
+  for (auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    worker->paused = true;
+  }
+  for (auto& worker : workers_) {
+    std::unique_lock<std::mutex> lock(worker->mutex);
+    worker->cv.wait(lock, [w = worker.get()] { return !w->busy; });
+  }
+}
+
+void ParallelMqpPool::ResumeAll() {
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(worker->mutex);
+      worker->paused = false;
+    }
+    worker->cv.notify_all();
+  }
+}
+
+Status ParallelMqpPool::Register(ComplexEventId id, const EventSet& events) {
+  Flush();
+  PauseAll();
+  Status st;
+  size_t inserted = 0;
+  for (auto& worker : workers_) {
+    st = worker->matcher->Insert(id, events);
+    if (!st.ok()) break;
+    ++inserted;
+  }
+  if (!st.ok()) {
+    // Roll back only the replicas this call inserted into: an AlreadyExists
+    // failure must not disturb the existing registration.
+    for (size_t i = 0; i < inserted; ++i) {
+      (void)workers_[i]->matcher->Erase(id);
+    }
+  }
+  ResumeAll();
+  return st;
+}
+
+Status ParallelMqpPool::Unregister(ComplexEventId id) {
+  Flush();
+  PauseAll();
+  Status st;
+  for (auto& worker : workers_) {
+    Status s = worker->matcher->Erase(id);
+    if (!s.ok()) st = s;
+  }
+  ResumeAll();
+  return st;
+}
+
+void ParallelMqpPool::Submit(AlertMessage alert) {
+  size_t index = next_worker_.fetch_add(1) % workers_.size();
+  Worker* worker = workers_[index].get();
+  bool was_empty;
+  {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    was_empty = worker->queue.empty();
+    worker->queue.push_back(std::move(alert));
+  }
+  if (was_empty) worker->cv.notify_one();
+}
+
+void ParallelMqpPool::Flush() {
+  for (auto& worker : workers_) {
+    std::unique_lock<std::mutex> lock(worker->mutex);
+    worker->cv.wait(lock, [w = worker.get()] {
+      return w->queue.empty() && !w->busy;
+    });
+  }
+}
+
+uint64_t ParallelMqpPool::documents_processed() const {
+  uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    total += worker->processed;
+  }
+  return total;
+}
+
+}  // namespace xymon::mqp

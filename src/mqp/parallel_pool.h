@@ -1,0 +1,78 @@
+#ifndef XYMON_MQP_PARALLEL_POOL_H_
+#define XYMON_MQP_PARALLEL_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/mqp/aes_matcher.h"
+#include "src/mqp/processor.h"
+
+namespace xymon::mqp {
+
+/// The paper's *processing-speed* distribution axis (§4.2), realized with
+/// threads instead of machines: "we can split the flow of documents into
+/// several partitions and assign a Monitoring Query Processor to each
+/// block of the partition."
+///
+/// Each worker owns a full AES replica (the paper's per-machine structure);
+/// incoming alerts are sheeted round-robin onto worker queues; detected
+/// complex events are delivered to a user callback from worker threads.
+/// Registration is quiesced: Register/Unregister drain the queues and apply
+/// to every replica, mirroring the Subscription Manager "warning" each MQP.
+class ParallelMqpPool {
+ public:
+  using NotificationCallback = std::function<void(const MqpNotification&)>;
+
+  /// Spawns `workers` threads (>=1). `callback` is invoked from worker
+  /// threads and must be thread-safe.
+  ParallelMqpPool(size_t workers, NotificationCallback callback);
+  ~ParallelMqpPool();
+
+  ParallelMqpPool(const ParallelMqpPool&) = delete;
+  ParallelMqpPool& operator=(const ParallelMqpPool&) = delete;
+
+  /// Registers a complex event on every replica (quiesces the pipeline).
+  Status Register(ComplexEventId id, const EventSet& events);
+  Status Unregister(ComplexEventId id);
+
+  /// Enqueues one alert; returns immediately. Round-robin partitioning.
+  void Submit(AlertMessage alert);
+
+  /// Blocks until every queued alert has been matched.
+  void Flush();
+
+  size_t worker_count() const { return workers_.size(); }
+  uint64_t documents_processed() const;
+
+ private:
+  struct Worker {
+    std::unique_ptr<AesMatcher> matcher;
+    std::thread thread;
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<AlertMessage> queue;
+    bool stop = false;
+    bool paused = false;
+    bool busy = false;  // currently inside Match()
+    uint64_t processed = 0;
+  };
+
+  void WorkerLoop(Worker* worker);
+  void PauseAll();
+  void ResumeAll();
+
+  NotificationCallback callback_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<size_t> next_worker_{0};
+};
+
+}  // namespace xymon::mqp
+
+#endif  // XYMON_MQP_PARALLEL_POOL_H_

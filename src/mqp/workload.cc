@@ -1,0 +1,40 @@
+#include "src/mqp/workload.h"
+
+#include <algorithm>
+
+namespace xymon::mqp {
+
+EventSet WorkloadGenerator::RandomSet(uint32_t size) {
+  EventSet set;
+  set.reserve(size);
+  // Rejection sampling: set sizes (<=100) are far below card_a, so
+  // collisions are rare.
+  while (set.size() < size) {
+    AtomicEvent a = static_cast<AtomicEvent>(rng_.Uniform(params_.card_a));
+    if (std::find(set.begin(), set.end(), a) == set.end()) {
+      set.push_back(a);
+    }
+  }
+  std::sort(set.begin(), set.end());
+  return set;
+}
+
+std::vector<EventSet> WorkloadGenerator::GenerateComplexEvents() {
+  std::vector<EventSet> out;
+  out.reserve(params_.card_c);
+  for (uint32_t i = 0; i < params_.card_c; ++i) {
+    out.push_back(RandomSet(params_.d));
+  }
+  return out;
+}
+
+std::vector<EventSet> WorkloadGenerator::GenerateDocuments(size_t count) {
+  std::vector<EventSet> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(RandomSet(params_.s));
+  }
+  return out;
+}
+
+}  // namespace xymon::mqp

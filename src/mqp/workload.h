@@ -1,0 +1,55 @@
+#ifndef XYMON_MQP_WORKLOAD_H_
+#define XYMON_MQP_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/mqp/event.h"
+
+namespace xymon::mqp {
+
+/// Parameters of the paper's experimental methodology (§4.2 "Analysis in
+/// brief"): atomic events are drawn uniformly from [0, card_a); complex
+/// events have d elements; documents trigger s events. The derived fan-out
+/// is k ≈ d · card_c / card_a ("k can be estimated as D·Card(C)/Card(A)").
+struct WorkloadParams {
+  uint32_t card_a = 100'000;  // Card(A): bound on distinct atomic events
+  uint32_t card_c = 100'000;  // Card(C): number of complex events
+  uint32_t d = 4;             // D: atomic events per complex event
+  uint32_t s = 10;            // s = Card(S): events detected per document
+  uint64_t seed = 42;
+
+  double ExpectedK() const {
+    return static_cast<double>(d) * card_c / card_a;
+  }
+};
+
+/// Generator reproducing the paper's test sets. Complex events and document
+/// event sets are sampled without replacement within a set, with replacement
+/// across sets — exactly the "randomly drawn in {a0..a_{Card(A)}}" setup.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadParams& params)
+      : params_(params), rng_(params.seed) {}
+
+  const WorkloadParams& params() const { return params_; }
+
+  /// One random strictly-ascending set of `size` events from [0, card_a).
+  EventSet RandomSet(uint32_t size);
+
+  /// The complex-event universe: card_c sets of size d.
+  std::vector<EventSet> GenerateComplexEvents();
+
+  /// A stream of `count` document event sets of size s.
+  std::vector<EventSet> GenerateDocuments(size_t count);
+
+ private:
+  WorkloadParams params_;
+  Rng rng_;
+};
+
+}  // namespace xymon::mqp
+
+#endif  // XYMON_MQP_WORKLOAD_H_

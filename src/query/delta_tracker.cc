@@ -1,0 +1,23 @@
+#include "src/query/delta_tracker.h"
+
+namespace xymon::query {
+
+std::unique_ptr<xml::Node> DeltaTracker::Update(
+    std::unique_ptr<xml::Node> new_result) {
+  if (previous_ == nullptr) {
+    xids_.AssignAll(new_result.get());
+    previous_ = new_result->Clone();
+    return new_result;
+  }
+  xmldiff::DiffResult diff =
+      xmldiff::Diff(*previous_, new_result.get(), &xids_);
+  std::string name = previous_->name();
+  previous_ = new_result->Clone();
+  if (diff.delta.empty()) return nullptr;
+
+  std::unique_ptr<xml::Node> delta_xml = diff.delta.ToXml();
+  delta_xml->set_name(name + "-delta");
+  return delta_xml;
+}
+
+}  // namespace xymon::query

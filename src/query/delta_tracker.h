@@ -1,0 +1,33 @@
+#ifndef XYMON_QUERY_DELTA_TRACKER_H_
+#define XYMON_QUERY_DELTA_TRACKER_H_
+
+#include <memory>
+
+#include "src/xml/dom.h"
+#include "src/xmldiff/diff.h"
+
+namespace xymon::query {
+
+/// Implements the `continuous delta Name` semantics of §5.2: "the first time
+/// the query is evaluated, we get its answer, but later, we only receive the
+/// modifications of the result". One tracker per delta-mode continuous
+/// query; the trigger engine feeds it each evaluation.
+class DeltaTracker {
+ public:
+  /// Consumes a fresh evaluation result. Returns:
+  ///   * the full result on the first call,
+  ///   * a "<Name-delta>" element (paper's <inserted>/<updated>/<deleted>
+  ///     children) when the result changed,
+  ///   * nullptr when the result is unchanged (no notification is due).
+  std::unique_ptr<xml::Node> Update(std::unique_ptr<xml::Node> new_result);
+
+  bool has_previous() const { return previous_ != nullptr; }
+
+ private:
+  std::unique_ptr<xml::Node> previous_;
+  xmldiff::XidAllocator xids_;
+};
+
+}  // namespace xymon::query
+
+#endif  // XYMON_QUERY_DELTA_TRACKER_H_

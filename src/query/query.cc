@@ -1,0 +1,300 @@
+#include "src/query/query.h"
+
+#include <cctype>
+
+namespace xymon::query {
+namespace {
+
+/// Minimal tokenizer for the query fragment: identifiers, quoted strings,
+/// '/', '//', ',', '='.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  struct Token {
+    enum class Kind { kIdent, kString, kSlash, kDoubleSlash, kComma, kEquals,
+                      kStar, kAt, kLParen, kRParen, kEnd };
+    Kind kind;
+    std::string text;
+  };
+
+  Result<Token> Next() {
+    SkipSpace();
+    if (pos_ >= input_.size()) return Token{Token::Kind::kEnd, ""};
+    char c = input_[pos_];
+    if (c == ',') {
+      ++pos_;
+      return Token{Token::Kind::kComma, ","};
+    }
+    if (c == '*') {
+      ++pos_;
+      return Token{Token::Kind::kStar, "*"};
+    }
+    if (c == '@') {
+      ++pos_;
+      return Token{Token::Kind::kAt, "@"};
+    }
+    if (c == '(') {
+      ++pos_;
+      return Token{Token::Kind::kLParen, "("};
+    }
+    if (c == ')') {
+      ++pos_;
+      return Token{Token::Kind::kRParen, ")"};
+    }
+    if (c == '=') {
+      ++pos_;
+      return Token{Token::Kind::kEquals, "="};
+    }
+    if (c == '/') {
+      ++pos_;
+      if (pos_ < input_.size() && input_[pos_] == '/') {
+        ++pos_;
+        return Token{Token::Kind::kDoubleSlash, "//"};
+      }
+      return Token{Token::Kind::kSlash, "/"};
+    }
+    if (c == '"' || c == '\'') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < input_.size() && input_[pos_] != c) ++pos_;
+      if (pos_ >= input_.size()) {
+        return Status::ParseError("unterminated string in query");
+      }
+      Token t{Token::Kind::kString,
+              std::string(input_.substr(start, pos_ - start))};
+      ++pos_;
+      return t;
+    }
+    if (isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < input_.size() &&
+             (isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_' || input_[pos_] == '-' ||
+              input_[pos_] == '.')) {
+        ++pos_;
+      }
+      return Token{Token::Kind::kIdent,
+                   std::string(input_.substr(start, pos_ - start))};
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' in query");
+  }
+
+  Result<Token> PeekToken() {
+    size_t save = pos_;
+    auto t = Next();
+    pos_ = save;
+    return t;
+  }
+
+  size_t Position() const { return pos_; }
+  void SetPosition(size_t pos) { pos_ = pos; }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+using Token = Lexer::Token;
+
+bool IsKeyword(const Token& t, std::string_view kw) {
+  return t.kind == Token::Kind::kIdent && t.text == kw;
+}
+
+class QueryParser {
+ public:
+  explicit QueryParser(std::string_view input) : lexer_(input) {}
+
+  Result<Query> Parse(std::string name) {
+    Query q;
+    q.name = std::move(name);
+
+    XYMON_ASSIGN_OR_RETURN(Token t, lexer_.Next());
+    if (!IsKeyword(t, "select")) {
+      return Status::ParseError("query must start with 'select'");
+    }
+    XYMON_RETURN_IF_ERROR(ParseSelectList(&q));
+
+    XYMON_ASSIGN_OR_RETURN(Token next, lexer_.PeekToken());
+    if (IsKeyword(next, "from")) {
+      (void)lexer_.Next();
+      XYMON_RETURN_IF_ERROR(ParseFromList(&q));
+      XYMON_ASSIGN_OR_RETURN(next, lexer_.PeekToken());
+    }
+    if (IsKeyword(next, "where")) {
+      (void)lexer_.Next();
+      XYMON_RETURN_IF_ERROR(ParseWhereList(&q));
+      XYMON_ASSIGN_OR_RETURN(next, lexer_.PeekToken());
+    }
+    if (next.kind != Token::Kind::kEnd) {
+      return Status::ParseError("trailing tokens in query: '" + next.text +
+                                "'");
+    }
+    return q;
+  }
+
+ private:
+  /// ident (('/'|'//') ident)*  — returned as (head, path).
+  Result<std::pair<std::string, PathExpr>> ParsePath() {
+    XYMON_ASSIGN_OR_RETURN(Token t, lexer_.Next());
+    if (t.kind != Token::Kind::kIdent) {
+      return Status::ParseError("expected identifier, got '" + t.text + "'");
+    }
+    std::string head = t.text;
+    PathExpr path;
+    while (true) {
+      XYMON_ASSIGN_OR_RETURN(Token next, lexer_.PeekToken());
+      bool descendant;
+      if (next.kind == Token::Kind::kSlash) {
+        descendant = false;
+      } else if (next.kind == Token::Kind::kDoubleSlash) {
+        descendant = true;
+      } else {
+        break;
+      }
+      (void)lexer_.Next();
+      XYMON_ASSIGN_OR_RETURN(Token seg, lexer_.Next());
+      if (seg.kind == Token::Kind::kAt) {
+        // Attribute terminal: "@name" must end the path.
+        XYMON_ASSIGN_OR_RETURN(Token attr, lexer_.Next());
+        if (attr.kind != Token::Kind::kIdent) {
+          return Status::ParseError("expected attribute name after '@'");
+        }
+        path.steps.push_back(PathStep{"@" + attr.text, descendant});
+        break;
+      }
+      if (seg.kind != Token::Kind::kIdent &&
+          seg.kind != Token::Kind::kStar) {
+        return Status::ParseError("expected path segment after '/'");
+      }
+      path.steps.push_back(PathStep{seg.text, descendant});
+    }
+    return std::make_pair(std::move(head), std::move(path));
+  }
+
+  Status ParseSelectList(Query* q) {
+    while (true) {
+      XYMON_ASSIGN_OR_RETURN(Token head, lexer_.PeekToken());
+      bool count = false;
+      if (IsKeyword(head, "count")) {
+        // Lookahead for `count(` — `count` alone stays a plain identifier.
+        size_t save = lexer_.Position();
+        (void)lexer_.Next();
+        XYMON_ASSIGN_OR_RETURN(Token paren, lexer_.PeekToken());
+        if (paren.kind == Token::Kind::kLParen) {
+          (void)lexer_.Next();
+          count = true;
+        } else {
+          lexer_.SetPosition(save);
+        }
+      }
+      XYMON_ASSIGN_OR_RETURN(auto head_path, ParsePath());
+      if (count) {
+        XYMON_ASSIGN_OR_RETURN(Token close, lexer_.Next());
+        if (close.kind != Token::Kind::kRParen) {
+          return Status::ParseError("expected ')' after count(...)");
+        }
+      }
+      q->select.push_back(SelectItem{std::move(head_path.first),
+                                     std::move(head_path.second), count});
+      XYMON_ASSIGN_OR_RETURN(Token next, lexer_.PeekToken());
+      if (next.kind != Token::Kind::kComma) return Status::OK();
+      (void)lexer_.Next();
+    }
+  }
+
+  Status ParseFromList(Query* q) {
+    while (true) {
+      XYMON_ASSIGN_OR_RETURN(auto head_path, ParsePath());
+      XYMON_ASSIGN_OR_RETURN(Token var, lexer_.Next());
+      if (var.kind != Token::Kind::kIdent) {
+        return Status::ParseError("expected variable name in from clause");
+      }
+      FromBinding b;
+      b.var = var.text;
+      b.path = std::move(head_path.second);
+      const std::string& head = head_path.first;
+      if (head == "self") {
+        b.from_self = true;
+      } else if (IsBoundVar(*q, head)) {
+        b.source_var = head;
+      } else {
+        // Head is a domain name and the first path step ranges over whole
+        // documents: make it a descendant step.
+        b.domain = (head == "any") ? "" : head;
+        if (!b.path.steps.empty()) b.path.steps.front().descendant = true;
+      }
+      q->from.push_back(std::move(b));
+      XYMON_ASSIGN_OR_RETURN(Token next, lexer_.PeekToken());
+      if (next.kind != Token::Kind::kComma) return Status::OK();
+      (void)lexer_.Next();
+    }
+  }
+
+  static bool IsBoundVar(const Query& q, const std::string& name) {
+    for (const FromBinding& b : q.from) {
+      if (b.var == name) return true;
+    }
+    return false;
+  }
+
+  Status ParseWhereList(Query* q) {
+    while (true) {
+      XYMON_ASSIGN_OR_RETURN(auto head_path, ParsePath());
+      Predicate p;
+      p.var = std::move(head_path.first);
+      p.path = std::move(head_path.second);
+      if (!p.path.steps.empty() && p.path.steps.back().tag.size() > 1 &&
+          p.path.steps.back().tag[0] == '@') {
+        p.attribute = p.path.steps.back().tag.substr(1);
+        p.path.steps.pop_back();
+      }
+      XYMON_ASSIGN_OR_RETURN(Token op, lexer_.Next());
+      if (op.kind == Token::Kind::kEquals) {
+        p.kind = Predicate::Kind::kEquals;
+      } else if (IsKeyword(op, "contains")) {
+        p.kind = Predicate::Kind::kContains;
+      } else {
+        return Status::ParseError("expected 'contains' or '=' in predicate");
+      }
+      XYMON_ASSIGN_OR_RETURN(Token val, lexer_.Next());
+      if (val.kind != Token::Kind::kString &&
+          val.kind != Token::Kind::kIdent) {
+        return Status::ParseError("expected value in predicate");
+      }
+      p.value = val.text;
+      q->where.push_back(std::move(p));
+
+      XYMON_ASSIGN_OR_RETURN(Token next, lexer_.PeekToken());
+      if (!IsKeyword(next, "and")) return Status::OK();
+      (void)lexer_.Next();
+    }
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+std::string PathExpr::ToString() const {
+  std::string out;
+  for (const PathStep& step : steps) {
+    out += step.descendant ? "//" : "/";
+    out += step.tag;
+  }
+  return out;
+}
+
+Result<Query> ParseQuery(std::string name, std::string_view text) {
+  return QueryParser(text).Parse(std::move(name));
+}
+
+}  // namespace xymon::query

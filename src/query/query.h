@@ -1,0 +1,93 @@
+#ifndef XYMON_QUERY_QUERY_H_
+#define XYMON_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace xymon::query {
+
+/// One step of a path expression. `descendant` steps ("//tag" or the first
+/// step of a from-clause path) match any descendant element with the tag;
+/// child steps ("/tag") match direct child elements only. The tag "*"
+/// matches any element ("m/*" = all children of m).
+struct PathStep {
+  std::string tag;
+  bool descendant = false;
+
+  bool MatchesTag(const std::string& name) const {
+    return tag == "*" || tag == name;
+  }
+};
+
+/// A slash-separated path: `museum`, `m/painting`, `self//Member`.
+struct PathExpr {
+  std::vector<PathStep> steps;
+
+  std::string ToString() const;
+};
+
+/// One variable binding of a from clause.
+///
+///   from culture/museum m, m/painting p
+///   from self//Member X
+///
+/// The binding ranges either over documents of a domain (`domain` non-empty
+/// or `over_all_documents`), over the current document (`from_self`), or
+/// over the bindings of a previously-bound variable (`source_var`).
+struct FromBinding {
+  std::string var;
+  std::string domain;          // warehouse domain ("" + !from_self = all docs)
+  bool from_self = false;      // range over the context document
+  std::string source_var;      // range over another variable's subtree
+  PathExpr path;               // applied from the range root
+};
+
+/// An atomic predicate of the where clause (the query engine supports the
+/// conjunctive fragment the paper uses; the subscription language adds its
+/// own monitoring-specific conditions on top, see src/sublang).
+struct Predicate {
+  enum class Kind { kContains, kEquals };
+  std::string var;
+  PathExpr path;  // may be empty: predicate on the variable itself
+  /// Non-empty: compare the attribute's value instead of text content
+  /// (`m/@id = "5"`, `m/painting/@year contains "16"`).
+  std::string attribute;
+  Kind kind = Kind::kContains;
+  std::string value;
+};
+
+/// One item of the select clause: a variable or a path from it, optionally
+/// aggregated: `select count(p)` emits <count var="p">N</count> with the
+/// total number of bindings/matches — useful with `continuous delta` to
+/// watch a cardinality (e.g. the number of products in a domain).
+struct SelectItem {
+  std::string var;
+  PathExpr path;  // may be empty
+  bool count = false;
+};
+
+/// A parsed Xyleme-style query:
+///
+///   select p/title
+///   from culture/museum m, m/painting p
+///   where m/address contains "Amsterdam"
+///
+/// `delta_mode` corresponds to the `continuous delta Name` form (§5.2): the
+/// caller is interested in changes of the result, not the result itself.
+struct Query {
+  std::string name;  // result element tag
+  bool delta_mode = false;
+  std::vector<SelectItem> select;
+  std::vector<FromBinding> from;
+  std::vector<Predicate> where;
+};
+
+/// Parses `select ... [from ...] [where ...]`. `name` becomes the result
+/// element tag.
+Result<Query> ParseQuery(std::string name, std::string_view text);
+
+}  // namespace xymon::query
+
+#endif  // XYMON_QUERY_QUERY_H_

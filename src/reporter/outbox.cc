@@ -1,0 +1,44 @@
+#include "src/reporter/outbox.h"
+
+#include <algorithm>
+
+namespace xymon::reporter {
+
+bool Outbox::CapacityAvailable(Timestamp now) {
+  if (options_.daily_capacity == 0) return true;
+  if (now - window_start_ >= kDay) {
+    window_start_ = now - (now % kDay);
+    window_sent_ = 0;
+  }
+  return window_sent_ < options_.daily_capacity;
+}
+
+void Outbox::Deliver(Email email) {
+  if (!options_.keep_bodies) {
+    email.body.clear();
+  }
+  sent_.push_back(std::move(email));
+  ++sent_count_;
+  ++window_sent_;
+}
+
+void Outbox::Send(Email email) {
+  if (CapacityAvailable(email.time)) {
+    Deliver(std::move(email));
+  } else {
+    queue_.push_back(std::move(email));
+  }
+}
+
+void Outbox::Drain(Timestamp now) {
+  size_t i = 0;
+  while (i < queue_.size() && CapacityAvailable(now)) {
+    Email email = std::move(queue_[i]);
+    email.time = now;
+    Deliver(std::move(email));
+    ++i;
+  }
+  queue_.erase(queue_.begin(), queue_.begin() + i);
+}
+
+}  // namespace xymon::reporter

@@ -1,0 +1,66 @@
+#ifndef XYMON_REPORTER_OUTBOX_H_
+#define XYMON_REPORTER_OUTBOX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace xymon::reporter {
+
+/// One outgoing report e-mail.
+struct Email {
+  std::string to;
+  std::string subject;
+  std::string body;
+  Timestamp time = 0;
+};
+
+/// The UNIX sendmail substitute. The paper's Reporter "supports hundreds of
+/// thousands of emails per day on a single PC. This limitation is due to the
+/// UNIX send-mail daemon implementation" — we simulate that boundary with a
+/// configurable per-day capacity so bench_reporter can reproduce the load
+/// behaviour (excess mail is queued, counted and drained over time).
+class Outbox {
+ public:
+  struct Options {
+    /// 0 = unlimited. The paper's figure: "hundreds of thousands" per day.
+    uint64_t daily_capacity = 0;
+    /// Retain message bodies (tests/examples) or count only (benches).
+    bool keep_bodies = true;
+  };
+
+  Outbox() : Outbox(Options{}) {}
+  explicit Outbox(const Options& options) : options_(options) {}
+
+  /// Queues or sends one e-mail at time `email.time`.
+  void Send(Email email);
+
+  /// Drains the backlog within the daily capacity. Call once per simulated
+  /// tick with the current time.
+  void Drain(Timestamp now);
+
+  uint64_t sent_count() const { return sent_count_; }
+  uint64_t queued_count() const { return queue_.size(); }
+
+  /// Sent messages (empty bodies if keep_bodies is false).
+  const std::vector<Email>& sent() const { return sent_; }
+  /// Most recent sent e-mail; nullptr if none.
+  const Email* last() const { return sent_.empty() ? nullptr : &sent_.back(); }
+
+ private:
+  bool CapacityAvailable(Timestamp now);
+  void Deliver(Email email);
+
+  Options options_;
+  std::vector<Email> sent_;
+  std::vector<Email> queue_;
+  uint64_t sent_count_ = 0;
+  Timestamp window_start_ = 0;
+  uint64_t window_sent_ = 0;
+};
+
+}  // namespace xymon::reporter
+
+#endif  // XYMON_REPORTER_OUTBOX_H_

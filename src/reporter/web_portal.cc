@@ -1,0 +1,66 @@
+#include "src/reporter/web_portal.h"
+
+#include "src/common/string_util.h"
+
+namespace xymon::reporter {
+
+std::string WebPortal::Publish(const std::string& subscription,
+                               Timestamp time, std::string xml) {
+  uint64_t seq = next_seq_[subscription]++;
+  auto& queue = reports_[subscription];
+  queue.push_back(PublishedReport{seq, time, std::move(xml)});
+  while (queue.size() > max_per_subscription_) {
+    queue.pop_front();
+  }
+  ++published_count_;
+  return "/reports/" + subscription + "/" + std::to_string(seq);
+}
+
+std::optional<std::string> WebPortal::Get(const std::string& path) const {
+  if (!StartsWith(path, "/reports/")) return std::nullopt;
+  std::string rest = path.substr(9);
+  size_t slash = rest.find('/');
+  if (slash == std::string::npos) return std::nullopt;
+  std::string subscription = rest.substr(0, slash);
+  std::string selector = rest.substr(slash + 1);
+
+  auto it = reports_.find(subscription);
+  if (it == reports_.end() || it->second.empty()) return std::nullopt;
+  if (selector == "latest") {
+    return it->second.back().xml;
+  }
+  uint64_t seq = 0;
+  for (char c : selector) {
+    if (c < '0' || c > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<uint64_t>(c - '0');
+  }
+  for (const PublishedReport& report : it->second) {
+    if (report.seq == seq) return report.xml;
+  }
+  return std::nullopt;  // Fell off the retention window.
+}
+
+std::string WebPortal::RenderIndex() const {
+  std::string html =
+      "<html><head><title>Xyleme subscription reports</title></head><body>\n"
+      "<h1>Subscription reports</h1>\n";
+  for (const auto& [subscription, queue] : reports_) {
+    html += "<h2>" + subscription + "</h2>\n<ul>\n";
+    for (const PublishedReport& report : queue) {
+      html += "  <li><a href=\"/reports/" + subscription + "/" +
+              std::to_string(report.seq) + "\">report " +
+              std::to_string(report.seq) + " (" + FormatTimestamp(report.time) +
+              ")</a></li>\n";
+    }
+    html += "</ul>\n";
+  }
+  html += "</body></html>\n";
+  return html;
+}
+
+size_t WebPortal::ReportCount(const std::string& subscription) const {
+  auto it = reports_.find(subscription);
+  return it == reports_.end() ? 0 : it->second.size();
+}
+
+}  // namespace xymon::reporter

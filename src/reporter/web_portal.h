@@ -1,0 +1,57 @@
+#ifndef XYMON_REPORTER_WEB_PORTAL_H_
+#define XYMON_REPORTER_WEB_PORTAL_H_
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/common/clock.h"
+
+namespace xymon::reporter {
+
+/// The web-publication channel of Figure 3 ("Web Server" / "Web Browser"):
+/// reports are "either sent by email, or consulted on the web, with a
+/// browser" — the paper considers web publication "more appropriate for very
+/// large reports". This is the Apache stand-in: an addressable store of
+/// published reports with stable paths
+///
+///   /reports/<subscription>/<seq>     one report
+///   /reports/<subscription>/latest    most recent report
+///
+/// plus an HTML index for the browser view.
+class WebPortal {
+ public:
+  struct PublishedReport {
+    uint64_t seq = 0;
+    Timestamp time = 0;
+    std::string xml;
+  };
+
+  explicit WebPortal(size_t max_per_subscription = 64)
+      : max_per_subscription_(max_per_subscription) {}
+
+  /// Publishes one report; old ones beyond the retention cap fall off.
+  /// Returns the path of the new report.
+  std::string Publish(const std::string& subscription, Timestamp time,
+                      std::string xml);
+
+  /// GET: resolves "/reports/<sub>/<seq|latest>"; nullopt = 404.
+  std::optional<std::string> Get(const std::string& path) const;
+
+  /// Browser index page (HTML) listing every subscription and report.
+  std::string RenderIndex() const;
+
+  uint64_t published_count() const { return published_count_; }
+  size_t ReportCount(const std::string& subscription) const;
+
+ private:
+  size_t max_per_subscription_;
+  std::map<std::string, std::deque<PublishedReport>> reports_;
+  std::map<std::string, uint64_t> next_seq_;
+  uint64_t published_count_ = 0;
+};
+
+}  // namespace xymon::reporter
+
+#endif  // XYMON_REPORTER_WEB_PORTAL_H_

@@ -1,0 +1,142 @@
+#include "src/storage/log_store.h"
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+namespace xymon::storage {
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = kTable[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+LogStore::~LogStore() {
+  if (file_ != nullptr) fclose(file_);
+}
+
+LogStore::LogStore(LogStore&& other) noexcept
+    : path_(std::move(other.path_)), file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+LogStore& LogStore::operator=(LogStore&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) fclose(file_);
+    path_ = std::move(other.path_);
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+Result<LogStore> LogStore::Open(const std::string& path) {
+  std::FILE* f = fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IOError("cannot open log file " + path);
+  }
+  return LogStore(path, f);
+}
+
+Status LogStore::Append(std::string_view payload) {
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint32_t crc = Crc32(payload);
+  if (fwrite(&len, sizeof(len), 1, file_) != 1 ||
+      fwrite(&crc, sizeof(crc), 1, file_) != 1 ||
+      (len > 0 && fwrite(payload.data(), 1, len, file_) != len)) {
+    return Status::IOError("short write to " + path_);
+  }
+  if (fflush(file_) != 0) {
+    return Status::IOError("flush failed for " + path_);
+  }
+  return Status::OK();
+}
+
+Status LogStore::Replay(
+    const std::function<void(std::string_view)>& fn) const {
+  std::FILE* f = fopen(path_.c_str(), "rb");
+  if (f == nullptr) return Status::OK();  // Nothing written yet.
+
+  std::vector<char> buf;
+  bool saw_corruption = false;
+  long corrupt_offset = 0;
+  while (true) {
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    long record_start = ftell(f);
+    size_t got = fread(&len, 1, sizeof(len), f);
+    if (got == 0) break;  // Clean EOF.
+    if (got < sizeof(len) || fread(&crc, 1, sizeof(crc), f) != sizeof(crc)) {
+      saw_corruption = true;
+      corrupt_offset = record_start;
+      break;
+    }
+    buf.resize(len);
+    if (len > 0 && fread(buf.data(), 1, len, f) != len) {
+      saw_corruption = true;
+      corrupt_offset = record_start;
+      break;
+    }
+    std::string_view payload(buf.data(), len);
+    if (Crc32(payload) != crc) {
+      saw_corruption = true;
+      corrupt_offset = record_start;
+      break;
+    }
+    fn(payload);
+  }
+
+  if (saw_corruption) {
+    // A torn tail is expected after a crash; anything else is real damage.
+    fseek(f, 0, SEEK_END);
+    long size = ftell(f);
+    fclose(f);
+    // If the corruption is not within one max-frame of EOF we cannot tell a
+    // torn write from interior damage; be conservative only when data
+    // clearly follows the bad record.
+    if (size - corrupt_offset > static_cast<long>(1 << 20)) {
+      return Status::Corruption("log " + path_ + " corrupt at offset " +
+                                std::to_string(corrupt_offset));
+    }
+    return Status::OK();
+  }
+  fclose(f);
+  return Status::OK();
+}
+
+Result<size_t> LogStore::SizeBytes() const {
+  long pos = ftell(file_);
+  if (pos < 0) return Status::IOError("ftell failed for " + path_);
+  return static_cast<size_t>(pos);
+}
+
+Status LogStore::Truncate() {
+  std::FILE* f = freopen(path_.c_str(), "wb", file_);
+  if (f == nullptr) {
+    file_ = nullptr;
+    return Status::IOError("truncate failed for " + path_);
+  }
+  file_ = f;
+  return Status::OK();
+}
+
+}  // namespace xymon::storage

@@ -1,0 +1,66 @@
+#ifndef XYMON_STORAGE_LOG_STORE_H_
+#define XYMON_STORAGE_LOG_STORE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace xymon::storage {
+
+/// CRC-32 (IEEE, reflected) over `data`. Guards every log record so that a
+/// torn write at the tail is detected instead of replayed.
+uint32_t Crc32(std::string_view data);
+
+/// Append-only record log with per-record CRC framing:
+///
+///   [u32 payload_len][u32 crc32(payload)][payload bytes]
+///
+/// This is the durability substrate under the Subscription Manager — the
+/// paper delegates persistence and recovery to a MySQL database; we preserve
+/// the same behaviour (all subscription state survives a restart, a corrupt
+/// tail is truncated, interior corruption is reported) with a from-scratch
+/// log.
+class LogStore {
+ public:
+  ~LogStore();
+
+  LogStore(LogStore&& other) noexcept;
+  LogStore& operator=(LogStore&& other) noexcept;
+  LogStore(const LogStore&) = delete;
+  LogStore& operator=(const LogStore&) = delete;
+
+  /// Opens (creating if needed) the log at `path` for appending.
+  static Result<LogStore> Open(const std::string& path);
+
+  /// Appends one record and flushes it to the OS.
+  Status Append(std::string_view payload);
+
+  /// Replays every intact record in order. A corrupt record at the tail
+  /// (torn write) stops replay with OK; corruption followed by further valid
+  /// data returns Corruption.
+  Status Replay(const std::function<void(std::string_view)>& fn) const;
+
+  /// Truncates the log to empty (used after a checkpoint).
+  Status Truncate();
+
+  /// Current size of the log file in bytes.
+  Result<size_t> SizeBytes() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit LogStore(std::string path, std::FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace xymon::storage
+
+#endif  // XYMON_STORAGE_LOG_STORE_H_

@@ -1,0 +1,95 @@
+#include "src/storage/persistent_map.h"
+
+#include <cstring>
+
+namespace xymon::storage {
+namespace {
+
+// Record encoding: 'P' u32(keylen) key value | 'D' key
+constexpr char kOpPut = 'P';
+constexpr char kOpDelete = 'D';
+
+}  // namespace
+
+Result<PersistentMap> PersistentMap::Open(const std::string& path) {
+  auto log = LogStore::Open(path);
+  if (!log.ok()) return log.status();
+  PersistentMap map(std::move(log).value());
+  Status st = map.log_.Replay(
+      [&map](std::string_view record) { map.ApplyRecord(record); });
+  if (!st.ok()) return st;
+  return map;
+}
+
+std::string PersistentMap::EncodePut(std::string_view key,
+                                     std::string_view value) {
+  std::string rec;
+  rec.reserve(1 + sizeof(uint32_t) + key.size() + value.size());
+  rec += kOpPut;
+  uint32_t klen = static_cast<uint32_t>(key.size());
+  rec.append(reinterpret_cast<const char*>(&klen), sizeof(klen));
+  rec.append(key);
+  rec.append(value);
+  return rec;
+}
+
+std::string PersistentMap::EncodeDelete(std::string_view key) {
+  std::string rec;
+  rec.reserve(1 + key.size());
+  rec += kOpDelete;
+  rec.append(key);
+  return rec;
+}
+
+void PersistentMap::ApplyRecord(std::string_view record) {
+  if (record.empty()) return;
+  char op = record[0];
+  record.remove_prefix(1);
+  if (op == kOpPut) {
+    if (record.size() < sizeof(uint32_t)) return;
+    uint32_t klen;
+    memcpy(&klen, record.data(), sizeof(klen));
+    record.remove_prefix(sizeof(klen));
+    if (record.size() < klen) return;
+    data_[std::string(record.substr(0, klen))] =
+        std::string(record.substr(klen));
+  } else if (op == kOpDelete) {
+    data_.erase(std::string(record));
+  }
+}
+
+Status PersistentMap::MaybeAutoCheckpoint() {
+  if (auto_checkpoint_ == 0) return Status::OK();
+  auto size = log_.SizeBytes();
+  if (!size.ok()) return size.status();
+  if (*size < auto_checkpoint_) return Status::OK();
+  return Checkpoint();
+}
+
+Status PersistentMap::Put(std::string_view key, std::string_view value) {
+  XYMON_RETURN_IF_ERROR(log_.Append(EncodePut(key, value)));
+  data_[std::string(key)] = std::string(value);
+  return MaybeAutoCheckpoint();
+}
+
+Status PersistentMap::Delete(std::string_view key) {
+  XYMON_RETURN_IF_ERROR(log_.Append(EncodeDelete(key)));
+  data_.erase(std::string(key));
+  return MaybeAutoCheckpoint();
+}
+
+std::optional<std::string> PersistentMap::Get(std::string_view key) const {
+  auto it = data_.find(std::string(key));
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status PersistentMap::Checkpoint() {
+  XYMON_RETURN_IF_ERROR(log_.Truncate());
+  for (const auto& [k, v] : data_) {
+    XYMON_RETURN_IF_ERROR(log_.Append(EncodePut(k, v)));
+  }
+  return Status::OK();
+}
+
+}  // namespace xymon::storage

@@ -1,0 +1,69 @@
+#ifndef XYMON_STORAGE_PERSISTENT_MAP_H_
+#define XYMON_STORAGE_PERSISTENT_MAP_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/storage/log_store.h"
+
+namespace xymon::storage {
+
+/// A durable string→string map layered on LogStore: every mutation is logged
+/// before it is applied; Open() recovers state by replay. Checkpoint()
+/// rewrites the log as a snapshot so it does not grow without bound.
+///
+/// This is the recovery store used by the Subscription Manager (the paper
+/// stores subscriptions and user records in MySQL; see DESIGN.md §1).
+class PersistentMap {
+ public:
+  PersistentMap(PersistentMap&&) = default;
+  PersistentMap& operator=(PersistentMap&&) = default;
+
+  /// Opens the map backed by `path`, replaying any existing log.
+  static Result<PersistentMap> Open(const std::string& path);
+
+  /// Inserts or overwrites, durably.
+  Status Put(std::string_view key, std::string_view value);
+
+  /// Removes `key` (no-op if absent), durably.
+  Status Delete(std::string_view key);
+
+  /// Point lookup from the in-memory image.
+  std::optional<std::string> Get(std::string_view key) const;
+
+  bool Contains(std::string_view key) const {
+    return data_.find(std::string(key)) != data_.end();
+  }
+  size_t size() const { return data_.size(); }
+
+  /// In-order iteration over the live image.
+  const std::map<std::string, std::string>& data() const { return data_; }
+
+  /// Compacts the log to one record per live key.
+  Status Checkpoint();
+
+  /// Compacts automatically whenever the log grows past `threshold` bytes
+  /// after a mutation (0 disables). Keeps long-running warehouses and
+  /// subscription stores from growing without bound under churn.
+  void SetAutoCheckpoint(size_t threshold) { auto_checkpoint_ = threshold; }
+
+ private:
+  explicit PersistentMap(LogStore log) : log_(std::move(log)) {}
+
+  static std::string EncodePut(std::string_view key, std::string_view value);
+  static std::string EncodeDelete(std::string_view key);
+  void ApplyRecord(std::string_view record);
+
+  Status MaybeAutoCheckpoint();
+
+  LogStore log_;
+  std::map<std::string, std::string> data_;
+  size_t auto_checkpoint_ = 0;
+};
+
+}  // namespace xymon::storage
+
+#endif  // XYMON_STORAGE_PERSISTENT_MAP_H_

@@ -1,0 +1,46 @@
+#include "src/sublang/ast.h"
+
+namespace xymon::sublang {
+
+Timestamp FrequencyPeriod(Frequency f) {
+  switch (f) {
+    case Frequency::kHourly:
+      return kHour;
+    case Frequency::kDaily:
+      return kDay;
+    case Frequency::kWeekly:
+      return kWeek;
+    case Frequency::kBiweekly:
+      return kWeek / 2;  // Twice a week (paper §5.2).
+    case Frequency::kMonthly:
+      return 30 * kDay;
+  }
+  return kDay;
+}
+
+const char* FrequencyName(Frequency f) {
+  switch (f) {
+    case Frequency::kHourly:
+      return "hourly";
+    case Frequency::kDaily:
+      return "daily";
+    case Frequency::kWeekly:
+      return "weekly";
+    case Frequency::kBiweekly:
+      return "biweekly";
+    case Frequency::kMonthly:
+      return "monthly";
+  }
+  return "?";
+}
+
+std::optional<Frequency> FrequencyFromName(std::string_view name) {
+  if (name == "hourly") return Frequency::kHourly;
+  if (name == "daily") return Frequency::kDaily;
+  if (name == "weekly") return Frequency::kWeekly;
+  if (name == "biweekly") return Frequency::kBiweekly;
+  if (name == "monthly") return Frequency::kMonthly;
+  return std::nullopt;
+}
+
+}  // namespace xymon::sublang

@@ -1,0 +1,129 @@
+#ifndef XYMON_SUBLANG_AST_H_
+#define XYMON_SUBLANG_AST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/alerters/condition.h"
+#include "src/common/clock.h"
+
+namespace xymon::sublang {
+
+/// Periodicities accepted by `when`/`try`/`atmost`/`archive` clauses.
+enum class Frequency { kHourly, kDaily, kWeekly, kBiweekly, kMonthly };
+
+/// Period length in seconds ("biweekly" = twice a week, per the paper's
+/// usage: "try biweekly ... We ask the system to evaluate the query twice a
+/// week").
+Timestamp FrequencyPeriod(Frequency f);
+const char* FrequencyName(Frequency f);
+std::optional<Frequency> FrequencyFromName(std::string_view name);
+
+/// The select clause of a monitoring query. The paper's system returns
+/// URL + basic info by default; a template (`select <UpdatedPage url=URL/>`)
+/// or a from-bound variable (`select X`) refines the notification payload.
+struct SelectClause {
+  enum class Kind { kDefault, kTemplate, kVariable };
+  Kind kind = Kind::kDefault;
+  /// Normalized XML with $VAR$ placeholders (kTemplate).
+  std::string template_xml;
+  /// Variable bound in the from clause (kVariable).
+  std::string variable;
+};
+
+/// `from self//Member X` — binds X to the Member descendants of the
+/// document being filtered.
+struct MonitoringFrom {
+  std::string var;
+  std::string tag;
+  bool descendant = true;
+};
+
+/// One monitoring query: a filter over the stream of fetched documents
+/// (paper §5.1). The where clause is a disjunction of conjunctions of
+/// atomic conditions (`and` binds tighter than `or`); each disjunct becomes
+/// one complex event in the MQP. Plain conjunctive clauses — the paper's
+/// §5.1 — are the one-disjunct case; `or` implements the disjunctions the
+/// paper's conclusion lists as future work.
+struct MonitoringQueryAst {
+  std::string name;  // label; auto-generated ("m1", ...) when not given
+  SelectClause select;
+  std::optional<MonitoringFrom> from;
+  /// DNF: disjuncts[i] is a conjunction. Never empty after parsing.
+  std::vector<std::vector<alerters::Condition>> disjuncts;
+
+  /// The single conjunction (asserts the common one-disjunct case; used by
+  /// tests and tools that predate disjunction support).
+  const std::vector<alerters::Condition>& conditions() const {
+    return disjuncts.front();
+  }
+};
+
+/// One continuous query (paper §5.2): a warehouse query re-evaluated on a
+/// frequency or when a monitoring query of some subscription notifies.
+struct ContinuousQueryAst {
+  std::string name;
+  bool delta = false;  // `continuous delta Name`: report result changes only
+  std::string query_text;  // `select ... from ... where ...`
+  std::optional<Frequency> frequency;  // `when biweekly` / `try biweekly`
+  std::string trigger_subscription;    // `when Sub.Query`
+  std::string trigger_query;
+};
+
+/// `refresh "url" weekly` — crawling-strategy hint (paper §2.2 item 3; the
+/// paper's implementation only adds importance to the mentioned pages).
+struct RefreshAst {
+  std::string url;
+  Frequency frequency = Frequency::kWeekly;
+};
+
+/// The report condition: a disjunction of atoms (paper §5.3).
+struct ReportCondition {
+  struct Atom {
+    enum class Kind { kCount, kNamedCount, kImmediate, kPeriodic };
+    Kind kind = Kind::kCount;
+    alerters::Comparator cmp = alerters::Comparator::kGe;
+    uint64_t count = 0;
+    std::string query_name;  // kNamedCount: count(UpdatedPage) >= 10
+    Frequency frequency = Frequency::kWeekly;  // kPeriodic
+  };
+  std::vector<Atom> atoms;  // empty = never (validator rejects)
+};
+
+/// The report part of a subscription (§5.3): when to emit, how to
+/// post-process, and the resource limits.
+struct ReportSpec {
+  std::string query_text;  // report query over the notification buffer; ""
+                           // = identity (ship the buffer as-is)
+  ReportCondition when;
+  std::optional<uint64_t> atmost_count;   // stop buffering past N
+  std::optional<Frequency> atmost_rate;   // rate-limit report emission
+  std::optional<Frequency> archive;       // keep reports for one period
+  /// `publish` clause: deliver via web publication instead of e-mail
+  /// (paper §3: reports are "either sent by email, or consulted on the
+  /// web"; the web channel suits very large reports).
+  bool publish_web = false;
+};
+
+/// `virtual Sub.Query` — subscribe to another subscription's query without
+/// creating new monitoring work (paper §5.4).
+struct VirtualRef {
+  std::string subscription;
+  std::string query;
+};
+
+/// A whole parsed subscription.
+struct SubscriptionAst {
+  std::string name;
+  std::vector<MonitoringQueryAst> monitoring;
+  std::vector<ContinuousQueryAst> continuous;
+  std::vector<RefreshAst> refresh;
+  std::optional<ReportSpec> report;
+  std::vector<VirtualRef> virtuals;
+};
+
+}  // namespace xymon::sublang
+
+#endif  // XYMON_SUBLANG_AST_H_

@@ -1,0 +1,90 @@
+#include "src/sublang/cost_model.h"
+
+#include <algorithm>
+
+namespace xymon::sublang {
+namespace {
+
+using alerters::Condition;
+using alerters::ConditionKind;
+
+double WordCost(const std::string& word, double base, const CostWeights& w) {
+  double breadth =
+      std::max(0.0, 8.0 - static_cast<double>(word.size())) * w.word_breadth;
+  return base + breadth;
+}
+
+}  // namespace
+
+double ConditionCost(const Condition& c, const CostWeights& w) {
+  switch (c.kind) {
+    case ConditionKind::kUrlEquals:
+    case ConditionKind::kFilenameEquals:
+    case ConditionKind::kDocIdEquals:
+    case ConditionKind::kDtdIdEquals:
+    case ConditionKind::kDtdUrlEquals:
+      return w.exact_metadata;
+    case ConditionKind::kUrlExtends: {
+      double breadth =
+          std::max(0.0, 30.0 - static_cast<double>(c.str_value.size())) *
+          w.url_prefix_breadth;
+      return w.url_prefix_base + breadth;
+    }
+    case ConditionKind::kDomainEquals:
+      return w.domain;
+    case ConditionKind::kLastAccessedCmp:
+    case ConditionKind::kLastUpdateCmp:
+      return w.date_comparison;
+    case ConditionKind::kDocStatus:
+      return c.status == warehouse::DocStatus::kDeleted ? w.deleted_status
+                                                        : w.weak_status;
+    case ConditionKind::kSelfContains:
+      return WordCost(c.str_value, w.self_contains_base, w);
+    case ConditionKind::kElementChange: {
+      double base =
+          c.change_op.has_value() ? w.element_change : w.element_presence;
+      if (!c.word.empty()) base = WordCost(c.word, base, w);
+      return base;
+    }
+  }
+  return 0;
+}
+
+double EstimateCost(const SubscriptionAst& sub, const CostWeights& w) {
+  double cost = 0;
+  for (const MonitoringQueryAst& mq : sub.monitoring) {
+    for (const auto& disjunct : mq.disjuncts) {
+      // A conjunction is only as broad as its *most selective* condition —
+      // the alert fires only when all hold. Charge the cheapest condition
+      // fully and the rest at registration cost.
+      double min_cost = 1e300;
+      double registration = 0;
+      for (const Condition& c : disjunct) {
+        double cc = ConditionCost(c, w);
+        min_cost = std::min(min_cost, cc);
+        registration += 0.2;  // Structure footprint per condition.
+      }
+      if (disjunct.empty()) min_cost = 0;
+      cost += min_cost + registration;
+    }
+  }
+  for (const ContinuousQueryAst& cq : sub.continuous) {
+    double per_week;
+    if (cq.frequency.has_value()) {
+      per_week = static_cast<double>(kWeek) /
+                 static_cast<double>(FrequencyPeriod(*cq.frequency));
+    } else {
+      per_week = 2.0;  // Notification-triggered: bounded by the trigger rate.
+    }
+    cost += per_week * w.continuous_per_weekly_run;
+  }
+  for (const RefreshAst& r : sub.refresh) {
+    double per_week = static_cast<double>(kWeek) /
+                      static_cast<double>(FrequencyPeriod(r.frequency));
+    cost += per_week * w.refresh_per_weekly_fetch;
+  }
+  cost += static_cast<double>(sub.virtuals.size()) * w.virtual_ref;
+  return cost;
+}
+
+}  // namespace xymon::sublang

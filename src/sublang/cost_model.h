@@ -1,0 +1,51 @@
+#ifndef XYMON_SUBLANG_COST_MODEL_H_
+#define XYMON_SUBLANG_COST_MODEL_H_
+
+#include "src/sublang/ast.h"
+
+namespace xymon::sublang {
+
+/// A-priori cost estimation for subscriptions (paper §5.4): "we could use a
+/// cost model to estimate a priori the cost of a subscription and to
+/// restrict the right of specifying expensive subscriptions to users with
+/// appropriate privileges."
+///
+/// The unit is an abstract "system load point" calibrated so that a typical
+/// single-site monitoring query costs ~5 points. The dominant drivers,
+/// following the paper's discussion:
+///   * broad conditions match many documents (short URL prefixes, whole
+///     domains, common short words) — they put alert-rate pressure on the
+///     whole chain;
+///   * frequent continuous queries re-scan the warehouse;
+///   * virtual subscriptions are nearly free ("only puts stress on the
+///     Reporter").
+struct CostWeights {
+  double exact_metadata = 1.0;    // URL =, filename =, DOCID =, DTDID =, DTD =
+  double url_prefix_base = 2.0;   // URL extends ...
+  double url_prefix_breadth = 0.5;  // per character under 30 (broader prefix)
+  double domain = 10.0;           // whole semantic domain
+  double date_comparison = 15.0;  // date ranges match broad slices
+  double weak_status = 4.0;       // new/updated/unchanged self
+  double deleted_status = 1.0;    // deletions are rare
+  double self_contains_base = 8.0;
+  double word_breadth = 5.0;      // per character under 8 (common short word)
+  double element_presence = 6.0;  // TAG contains w (fires on presence)
+  double element_change = 3.0;    // new/updated/deleted TAG ...
+  double continuous_per_weekly_run = 10.0;  // warehouse scan per weekly firing
+  double refresh_per_weekly_fetch = 2.0;
+  double virtual_ref = 0.5;
+};
+
+/// Cost of one atomic condition.
+double ConditionCost(const alerters::Condition& condition,
+                     const CostWeights& weights = {});
+
+/// Cost of a whole subscription: monitoring disjuncts (a disjunction costs
+/// the sum of its disjuncts — each is a live complex event), continuous
+/// queries, refresh statements and virtual references.
+double EstimateCost(const SubscriptionAst& sub,
+                    const CostWeights& weights = {});
+
+}  // namespace xymon::sublang
+
+#endif  // XYMON_SUBLANG_COST_MODEL_H_

@@ -1,0 +1,789 @@
+#include "src/sublang/parser.h"
+
+#include <cctype>
+#include <ctime>
+#include <cstring>
+
+#include "src/common/string_util.h"
+#include "src/sublang/template.h"
+
+namespace xymon::sublang {
+namespace {
+
+using alerters::Comparator;
+using alerters::Condition;
+using alerters::ConditionKind;
+using warehouse::DocStatus;
+
+struct Token {
+  enum class Kind {
+    kIdent,
+    kString,
+    kNumber,
+    kLt,
+    kLe,
+    kEq,
+    kGe,
+    kGt,
+    kLParen,
+    kRParen,
+    kDot,
+    kComma,
+    kSlash,
+    kDoubleSlash,
+    kEnd,
+  };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  uint64_t number = 0;
+};
+
+/// Lexer for the subscription language. Supports `%` line comments, raw XML
+/// fragment capture (select templates) and raw capture up to a keyword
+/// (embedded warehouse queries).
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  /// Skips whitespace and comments; returns the next raw character or '\0'.
+  char PeekChar() {
+    SkipSpaceAndComments();
+    return pos_ < input_.size() ? input_[pos_] : '\0';
+  }
+
+  Result<Token> Peek() {
+    size_t save = pos_;
+    auto t = Next();
+    pos_ = save;
+    return t;
+  }
+
+  Result<Token> Next() {
+    SkipSpaceAndComments();
+    if (pos_ >= input_.size()) return Token{};
+    char c = input_[pos_];
+    if (c == '/') {
+      ++pos_;
+      if (pos_ < input_.size() && input_[pos_] == '/') {
+        ++pos_;
+        return Token{Token::Kind::kDoubleSlash, "//", 0};
+      }
+      return Token{Token::Kind::kSlash, "/", 0};
+    }
+    if (c == '(') return Single(Token::Kind::kLParen, "(");
+    if (c == ')') return Single(Token::Kind::kRParen, ")");
+    if (c == '.') return Single(Token::Kind::kDot, ".");
+    if (c == ',') return Single(Token::Kind::kComma, ",");
+    if (c == '=') return Single(Token::Kind::kEq, "=");
+    if (c == '<') {
+      ++pos_;
+      if (pos_ < input_.size() && input_[pos_] == '=') {
+        ++pos_;
+        return Token{Token::Kind::kLe, "<=", 0};
+      }
+      return Token{Token::Kind::kLt, "<", 0};
+    }
+    if (c == '>') {
+      ++pos_;
+      if (pos_ < input_.size() && input_[pos_] == '=') {
+        ++pos_;
+        return Token{Token::Kind::kGe, ">=", 0};
+      }
+      return Token{Token::Kind::kGt, ">", 0};
+    }
+    if (c == '"' || c == '\'') {
+      char q = c;
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < input_.size() && input_[pos_] != q) ++pos_;
+      if (pos_ >= input_.size()) {
+        return Status::ParseError("unterminated string literal");
+      }
+      Token t{Token::Kind::kString,
+              std::string(input_.substr(start, pos_ - start)), 0};
+      ++pos_;
+      return t;
+    }
+    if (isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      uint64_t value = 0;
+      while (pos_ < input_.size() &&
+             isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        value = value * 10 + static_cast<uint64_t>(input_[pos_] - '0');
+        ++pos_;
+      }
+      return Token{Token::Kind::kNumber,
+                   std::string(input_.substr(start, pos_ - start)), value};
+    }
+    if (isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < input_.size() &&
+             (isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_' || input_[pos_] == '-')) {
+        ++pos_;
+      }
+      return Token{Token::Kind::kIdent,
+                   std::string(input_.substr(start, pos_ - start)), 0};
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' in subscription");
+  }
+
+  /// Captures a balanced XML fragment starting at '<'.
+  Result<std::string> RawXmlFragment() {
+    SkipSpaceAndComments();
+    if (pos_ >= input_.size() || input_[pos_] != '<') {
+      return Status::ParseError("expected XML fragment");
+    }
+    size_t start = pos_;
+    int depth = 0;
+    while (pos_ < input_.size()) {
+      if (input_[pos_] == '"' || input_[pos_] == '\'') {
+        char q = input_[pos_++];
+        while (pos_ < input_.size() && input_[pos_] != q) ++pos_;
+        if (pos_ < input_.size()) ++pos_;
+        continue;
+      }
+      if (input_[pos_] == '<') {
+        bool closing = pos_ + 1 < input_.size() && input_[pos_ + 1] == '/';
+        // Scan the tag.
+        size_t tag_end = pos_;
+        bool self_closing = false;
+        while (tag_end < input_.size() && input_[tag_end] != '>') {
+          if (input_[tag_end] == '"' || input_[tag_end] == '\'') {
+            char q = input_[tag_end++];
+            while (tag_end < input_.size() && input_[tag_end] != q) ++tag_end;
+          }
+          ++tag_end;
+        }
+        if (tag_end >= input_.size()) {
+          return Status::ParseError("unterminated XML fragment in select");
+        }
+        if (tag_end > 0 && input_[tag_end - 1] == '/') self_closing = true;
+        if (closing) {
+          --depth;
+        } else if (!self_closing) {
+          ++depth;
+        }
+        pos_ = tag_end + 1;
+        if (depth == 0) {
+          return std::string(input_.substr(start, pos_ - start));
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    return Status::ParseError("unterminated XML fragment in select");
+  }
+
+  /// Captures raw text up to (not including) the first top-level occurrence
+  /// of one of `keywords` (as a whole identifier, outside strings), or EOF.
+  std::string CaptureUntilKeyword(const std::vector<std::string>& keywords) {
+    SkipSpaceAndComments();
+    size_t start = pos_;
+    size_t end = input_.size();
+    size_t scan = pos_;
+    while (scan < input_.size()) {
+      char c = input_[scan];
+      if (c == '%') {
+        while (scan < input_.size() && input_[scan] != '\n') ++scan;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        char q = c;
+        ++scan;
+        while (scan < input_.size() && input_[scan] != q) ++scan;
+        if (scan < input_.size()) ++scan;
+        continue;
+      }
+      if (isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t word_start = scan;
+        while (scan < input_.size() &&
+               (isalnum(static_cast<unsigned char>(input_[scan])) ||
+                input_[scan] == '_' || input_[scan] == '-')) {
+          ++scan;
+        }
+        std::string_view word = input_.substr(word_start, scan - word_start);
+        for (const std::string& kw : keywords) {
+          if (word == kw) {
+            end = word_start;
+            pos_ = word_start;
+            return std::string(Trim(input_.substr(start, end - start)));
+          }
+        }
+        continue;
+      }
+      ++scan;
+    }
+    pos_ = input_.size();
+    return std::string(Trim(input_.substr(start, end - start)));
+  }
+
+ private:
+  Token Single(Token::Kind kind, const char* text) {
+    ++pos_;
+    return Token{kind, text, 0};
+  }
+
+  void SkipSpaceAndComments() {
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%') {
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+bool IsKw(const Token& t, std::string_view kw) {
+  return t.kind == Token::Kind::kIdent && t.text == kw;
+}
+
+std::optional<DocStatus> ChangeKeywordToStatus(std::string_view word) {
+  if (word == "new") return DocStatus::kNew;
+  if (word == "updated" || word == "modified") return DocStatus::kUpdated;
+  if (word == "unchanged") return DocStatus::kUnchanged;
+  if (word == "deleted") return DocStatus::kDeleted;
+  return std::nullopt;
+}
+
+std::optional<xmldiff::ChangeOp> ChangeKeywordToOp(std::string_view word) {
+  if (word == "new") return xmldiff::ChangeOp::kNew;
+  if (word == "updated" || word == "modified") return xmldiff::ChangeOp::kUpdated;
+  if (word == "deleted") return xmldiff::ChangeOp::kDeleted;
+  return std::nullopt;
+}
+
+/// Parses a date literal: a raw Timestamp number or "YYYY-MM-DD".
+Result<Timestamp> ParseDate(const Token& t) {
+  if (t.kind == Token::Kind::kNumber) {
+    return static_cast<Timestamp>(t.number);
+  }
+  if (t.kind == Token::Kind::kString) {
+    struct tm tm_buf;
+    memset(&tm_buf, 0, sizeof(tm_buf));
+    if (strptime(t.text.c_str(), "%Y-%m-%d", &tm_buf) == nullptr) {
+      return Status::ParseError("bad date literal '" + t.text +
+                                "' (want YYYY-MM-DD or a timestamp)");
+    }
+    return static_cast<Timestamp>(timegm(&tm_buf));
+  }
+  return Status::ParseError("expected date literal");
+}
+
+Result<Comparator> TokenToComparator(const Token& t) {
+  switch (t.kind) {
+    case Token::Kind::kLt:
+      return Comparator::kLt;
+    case Token::Kind::kLe:
+      return Comparator::kLe;
+    case Token::Kind::kEq:
+      return Comparator::kEq;
+    case Token::Kind::kGe:
+      return Comparator::kGe;
+    case Token::Kind::kGt:
+      return Comparator::kGt;
+    default:
+      return Status::ParseError("expected comparator, got '" + t.text + "'");
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : lexer_(input) {}
+
+  Result<SubscriptionAst> Parse() {
+    SubscriptionAst sub;
+    XYMON_ASSIGN_OR_RETURN(Token t, lexer_.Next());
+    if (!IsKw(t, "subscription")) {
+      return Status::ParseError("subscription must start with 'subscription'");
+    }
+    XYMON_ASSIGN_OR_RETURN(t, lexer_.Next());
+    if (t.kind != Token::Kind::kIdent) {
+      return Status::ParseError("expected subscription name");
+    }
+    sub.name = t.text;
+
+    while (true) {
+      XYMON_ASSIGN_OR_RETURN(Token head, lexer_.Next());
+      if (head.kind == Token::Kind::kEnd) break;
+      if (IsKw(head, "monitoring")) {
+        XYMON_RETURN_IF_ERROR(ParseMonitoring(&sub));
+      } else if (IsKw(head, "continuous")) {
+        XYMON_RETURN_IF_ERROR(ParseContinuous(&sub));
+      } else if (IsKw(head, "refresh")) {
+        XYMON_RETURN_IF_ERROR(ParseRefresh(&sub));
+      } else if (IsKw(head, "report")) {
+        XYMON_RETURN_IF_ERROR(ParseReport(&sub));
+      } else if (IsKw(head, "virtual")) {
+        XYMON_RETURN_IF_ERROR(ParseVirtual(&sub));
+      } else {
+        return Status::ParseError("unexpected clause '" + head.text + "'");
+      }
+    }
+    return sub;
+  }
+
+ private:
+  Status ParseMonitoring(SubscriptionAst* sub) {
+    MonitoringQueryAst mq;
+    XYMON_ASSIGN_OR_RETURN(Token t, lexer_.Peek());
+    if (t.kind == Token::Kind::kIdent && !IsKw(t, "select")) {
+      mq.name = t.text;  // Optional label.
+      (void)lexer_.Next();
+      XYMON_ASSIGN_OR_RETURN(t, lexer_.Peek());
+    }
+    if (!IsKw(t, "select")) {
+      return Status::ParseError("monitoring query must start with 'select'");
+    }
+    (void)lexer_.Next();
+
+    // Select clause: XML template, variable, or the keyword 'default'.
+    if (lexer_.PeekChar() == '<') {
+      XYMON_ASSIGN_OR_RETURN(std::string raw, lexer_.RawXmlFragment());
+      mq.select.kind = SelectClause::Kind::kTemplate;
+      mq.select.template_xml = NormalizeXmlTemplate(raw);
+      // Default query name: the template's root tag.
+      if (mq.name.empty()) {
+        size_t tag_start = 1;
+        size_t tag_end = tag_start;
+        while (tag_end < raw.size() &&
+               (isalnum(static_cast<unsigned char>(raw[tag_end])) ||
+                raw[tag_end] == '_' || raw[tag_end] == '-')) {
+          ++tag_end;
+        }
+        mq.name = raw.substr(tag_start, tag_end - tag_start);
+      }
+    } else {
+      XYMON_ASSIGN_OR_RETURN(Token sel, lexer_.Next());
+      if (sel.kind != Token::Kind::kIdent) {
+        return Status::ParseError("expected select target");
+      }
+      if (sel.text == "default") {
+        mq.select.kind = SelectClause::Kind::kDefault;
+      } else {
+        mq.select.kind = SelectClause::Kind::kVariable;
+        mq.select.variable = sel.text;
+      }
+    }
+
+    // Optional from clause: `from self//TAG VAR` or `from self/TAG VAR`.
+    XYMON_ASSIGN_OR_RETURN(t, lexer_.Peek());
+    if (IsKw(t, "from")) {
+      (void)lexer_.Next();
+      XYMON_ASSIGN_OR_RETURN(Token self_tok, lexer_.Next());
+      if (!IsKw(self_tok, "self")) {
+        return Status::ParseError(
+            "monitoring from clause must bind from 'self'");
+      }
+      XYMON_ASSIGN_OR_RETURN(Token slash, lexer_.Next());
+      if (slash.kind != Token::Kind::kSlash &&
+          slash.kind != Token::Kind::kDoubleSlash) {
+        return Status::ParseError("expected path after 'self'");
+      }
+      XYMON_ASSIGN_OR_RETURN(Token tag, lexer_.Next());
+      if (tag.kind != Token::Kind::kIdent) {
+        return Status::ParseError("expected tag in from path");
+      }
+      XYMON_ASSIGN_OR_RETURN(Token var, lexer_.Next());
+      if (var.kind != Token::Kind::kIdent) {
+        return Status::ParseError("expected variable name in from clause");
+      }
+      MonitoringFrom from;
+      from.var = var.text;
+      from.tag = tag.text;
+      from.descendant = slash.kind == Token::Kind::kDoubleSlash;
+      mq.from = std::move(from);
+    }
+    XYMON_RETURN_IF_ERROR(ParseFromlessRest(&mq));
+    sub->monitoring.push_back(std::move(mq));
+    if (sub->monitoring.back().name.empty()) {
+      sub->monitoring.back().name =
+          "m" + std::to_string(sub->monitoring.size());
+    }
+    return Status::OK();
+  }
+
+  Status ParseFromlessRest(MonitoringQueryAst* mq) {
+    XYMON_ASSIGN_OR_RETURN(Token t, lexer_.Peek());
+    if (!IsKw(t, "where")) {
+      return Status::ParseError("monitoring query requires a where clause");
+    }
+    (void)lexer_.Next();
+    return ParseWhere(mq);
+  }
+
+  /// where := conjunction ('or' conjunction)* ; 'and' binds tighter.
+  Status ParseWhere(MonitoringQueryAst* mq) {
+    mq->disjuncts.emplace_back();
+    while (true) {
+      XYMON_RETURN_IF_ERROR(ParseCondition(mq, &mq->disjuncts.back()));
+      XYMON_ASSIGN_OR_RETURN(Token t, lexer_.Peek());
+      if (IsKw(t, "and")) {
+        (void)lexer_.Next();
+        continue;
+      }
+      if (IsKw(t, "or")) {
+        (void)lexer_.Next();
+        mq->disjuncts.emplace_back();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Status ParseCondition(MonitoringQueryAst* mq,
+                        std::vector<Condition>* out) {
+    XYMON_ASSIGN_OR_RETURN(Token head, lexer_.Next());
+    if (head.kind != Token::Kind::kIdent) {
+      return Status::ParseError("expected condition, got '" + head.text + "'");
+    }
+    Condition c;
+
+    if (head.text == "URL") {
+      XYMON_ASSIGN_OR_RETURN(Token op, lexer_.Next());
+      if (IsKw(op, "extends")) {
+        c.kind = ConditionKind::kUrlExtends;
+      } else if (op.kind == Token::Kind::kEq) {
+        c.kind = ConditionKind::kUrlEquals;
+      } else {
+        return Status::ParseError("expected 'extends' or '=' after URL");
+      }
+      XYMON_ASSIGN_OR_RETURN(Token val, lexer_.Next());
+      if (val.kind != Token::Kind::kString) {
+        return Status::ParseError("expected string after URL condition");
+      }
+      c.str_value = val.text;
+      out->push_back(std::move(c));
+      return Status::OK();
+    }
+    if (head.text == "filename" || head.text == "DTD" ||
+        head.text == "domain") {
+      XYMON_ASSIGN_OR_RETURN(Token op, lexer_.Next());
+      if (op.kind != Token::Kind::kEq) {
+        return Status::ParseError("expected '=' after " + head.text);
+      }
+      XYMON_ASSIGN_OR_RETURN(Token val, lexer_.Next());
+      if (val.kind != Token::Kind::kString) {
+        return Status::ParseError("expected string after " + head.text + " =");
+      }
+      c.kind = head.text == "filename" ? ConditionKind::kFilenameEquals
+               : head.text == "DTD"    ? ConditionKind::kDtdUrlEquals
+                                       : ConditionKind::kDomainEquals;
+      c.str_value = val.text;
+      out->push_back(std::move(c));
+      return Status::OK();
+    }
+    if (head.text == "DTDID" || head.text == "DOCID") {
+      XYMON_ASSIGN_OR_RETURN(Token op, lexer_.Next());
+      if (op.kind != Token::Kind::kEq) {
+        return Status::ParseError("expected '=' after " + head.text);
+      }
+      XYMON_ASSIGN_OR_RETURN(Token val, lexer_.Next());
+      if (val.kind != Token::Kind::kNumber) {
+        return Status::ParseError("expected integer after " + head.text + " =");
+      }
+      c.kind = head.text == "DTDID" ? ConditionKind::kDtdIdEquals
+                                    : ConditionKind::kDocIdEquals;
+      c.num_value = val.number;
+      out->push_back(std::move(c));
+      return Status::OK();
+    }
+    if (head.text == "LastAccessed" || head.text == "LastUpdate") {
+      XYMON_ASSIGN_OR_RETURN(Token op, lexer_.Next());
+      XYMON_ASSIGN_OR_RETURN(Comparator cmp, TokenToComparator(op));
+      XYMON_ASSIGN_OR_RETURN(Token val, lexer_.Next());
+      XYMON_ASSIGN_OR_RETURN(Timestamp date, ParseDate(val));
+      c.kind = head.text == "LastAccessed" ? ConditionKind::kLastAccessedCmp
+                                           : ConditionKind::kLastUpdateCmp;
+      c.cmp = cmp;
+      c.date_value = date;
+      out->push_back(std::move(c));
+      return Status::OK();
+    }
+    if (head.text == "self") {
+      XYMON_ASSIGN_OR_RETURN(Token op, lexer_.Next());
+      if (!IsKw(op, "contains")) {
+        return Status::ParseError("expected 'contains' after self");
+      }
+      XYMON_ASSIGN_OR_RETURN(Token val, lexer_.Next());
+      if (val.kind != Token::Kind::kString) {
+        return Status::ParseError("expected string after self contains");
+      }
+      c.kind = ConditionKind::kSelfContains;
+      c.str_value = val.text;
+      out->push_back(std::move(c));
+      return Status::OK();
+    }
+
+    // Change keyword: `new self`, `updated Product ...`.
+    if (auto status = ChangeKeywordToStatus(head.text); status.has_value()) {
+      XYMON_ASSIGN_OR_RETURN(Token target, lexer_.Next());
+      if (target.kind != Token::Kind::kIdent) {
+        return Status::ParseError("expected target after '" + head.text + "'");
+      }
+      if (target.text == "self") {
+        c.kind = ConditionKind::kDocStatus;
+        c.status = *status;
+        out->push_back(std::move(c));
+        return Status::OK();
+      }
+      auto op = ChangeKeywordToOp(head.text);
+      if (!op.has_value()) {
+        return Status::ParseError("'" + head.text +
+                                  "' cannot apply to an element");
+      }
+      return ParseElementRest(mq, out, *op, target.text);
+    }
+
+    // Presence condition: `TAG [strict] contains "word"` or bare `TAG`.
+    return ParseElementRest(mq, out, std::nullopt, head.text);
+  }
+
+  Status ParseElementRest(MonitoringQueryAst* mq,
+                          std::vector<Condition>* out,
+                          std::optional<xmldiff::ChangeOp> op,
+                          const std::string& target) {
+    Condition c;
+    c.kind = ConditionKind::kElementChange;
+    c.change_op = op;
+    // Resolve a from-bound variable to its tag.
+    if (mq->from.has_value() && mq->from->var == target) {
+      c.tag = mq->from->tag;
+    } else {
+      c.tag = target;
+    }
+    XYMON_ASSIGN_OR_RETURN(Token t, lexer_.Peek());
+    if (IsKw(t, "strict")) {
+      c.strict = true;
+      (void)lexer_.Next();
+      XYMON_ASSIGN_OR_RETURN(t, lexer_.Peek());
+      if (!IsKw(t, "contains")) {
+        return Status::ParseError("'strict' must be followed by 'contains'");
+      }
+    }
+    if (IsKw(t, "contains")) {
+      (void)lexer_.Next();
+      XYMON_ASSIGN_OR_RETURN(Token val, lexer_.Next());
+      if (val.kind != Token::Kind::kString) {
+        return Status::ParseError("expected string after contains");
+      }
+      c.word = val.text;
+    } else if (!op.has_value()) {
+      return Status::ParseError(
+          "bare element condition '" + target +
+          "' needs a change keyword or a contains part");
+    }
+    out->push_back(std::move(c));
+    return Status::OK();
+  }
+
+  Status ParseContinuous(SubscriptionAst* sub) {
+    ContinuousQueryAst cq;
+    XYMON_ASSIGN_OR_RETURN(Token t, lexer_.Next());
+    if (IsKw(t, "delta")) {
+      cq.delta = true;
+      XYMON_ASSIGN_OR_RETURN(t, lexer_.Next());
+    }
+    if (t.kind != Token::Kind::kIdent) {
+      return Status::ParseError("expected continuous query name");
+    }
+    cq.name = t.text;
+    cq.query_text = lexer_.CaptureUntilKeyword({"when", "try"});
+    if (cq.query_text.empty()) {
+      return Status::ParseError("continuous query '" + cq.name +
+                                "' has no query body");
+    }
+    XYMON_ASSIGN_OR_RETURN(Token kw, lexer_.Next());
+    if (!IsKw(kw, "when") && !IsKw(kw, "try")) {
+      return Status::ParseError("continuous query '" + cq.name +
+                                "' needs a when/try clause");
+    }
+    XYMON_ASSIGN_OR_RETURN(Token cond, lexer_.Next());
+    if (cond.kind != Token::Kind::kIdent) {
+      return Status::ParseError("expected frequency or Sub.Query after when");
+    }
+    if (auto freq = FrequencyFromName(cond.text); freq.has_value()) {
+      cq.frequency = *freq;
+    } else {
+      XYMON_ASSIGN_OR_RETURN(Token dot, lexer_.Next());
+      if (dot.kind != Token::Kind::kDot) {
+        return Status::ParseError("expected '.' in notification trigger");
+      }
+      XYMON_ASSIGN_OR_RETURN(Token qname, lexer_.Next());
+      if (qname.kind != Token::Kind::kIdent) {
+        return Status::ParseError("expected query name after '.'");
+      }
+      cq.trigger_subscription = cond.text;
+      cq.trigger_query = qname.text;
+    }
+    sub->continuous.push_back(std::move(cq));
+    return Status::OK();
+  }
+
+  Status ParseRefresh(SubscriptionAst* sub) {
+    RefreshAst r;
+    XYMON_ASSIGN_OR_RETURN(Token url, lexer_.Next());
+    if (url.kind != Token::Kind::kString) {
+      return Status::ParseError("expected URL string after refresh");
+    }
+    r.url = url.text;
+    XYMON_ASSIGN_OR_RETURN(Token t, lexer_.Peek());
+    if (t.kind == Token::Kind::kIdent) {
+      if (auto freq = FrequencyFromName(t.text); freq.has_value()) {
+        r.frequency = *freq;
+        (void)lexer_.Next();
+      }
+    }
+    sub->refresh.push_back(std::move(r));
+    return Status::OK();
+  }
+
+  Status ParseReport(SubscriptionAst* sub) {
+    if (sub->report.has_value()) {
+      return Status::ParseError("duplicate report clause");
+    }
+    ReportSpec spec;
+    XYMON_ASSIGN_OR_RETURN(Token t, lexer_.Peek());
+    if (IsKw(t, "select")) {
+      spec.query_text = lexer_.CaptureUntilKeyword({"when"});
+    }
+    XYMON_ASSIGN_OR_RETURN(t, lexer_.Next());
+    if (!IsKw(t, "when")) {
+      return Status::ParseError("report clause requires 'when'");
+    }
+    XYMON_RETURN_IF_ERROR(ParseReportCondition(&spec.when));
+
+    while (true) {
+      XYMON_ASSIGN_OR_RETURN(t, lexer_.Peek());
+      if (IsKw(t, "atmost")) {
+        (void)lexer_.Next();
+        XYMON_ASSIGN_OR_RETURN(Token v, lexer_.Next());
+        if (v.kind == Token::Kind::kNumber) {
+          spec.atmost_count = v.number;
+        } else if (v.kind == Token::Kind::kIdent) {
+          auto freq = FrequencyFromName(v.text);
+          if (!freq.has_value()) {
+            return Status::ParseError("bad atmost argument '" + v.text + "'");
+          }
+          spec.atmost_rate = *freq;
+        } else {
+          return Status::ParseError("expected count or frequency after atmost");
+        }
+      } else if (IsKw(t, "publish")) {
+        (void)lexer_.Next();
+        spec.publish_web = true;
+      } else if (IsKw(t, "archive")) {
+        (void)lexer_.Next();
+        XYMON_ASSIGN_OR_RETURN(Token v, lexer_.Next());
+        auto freq = v.kind == Token::Kind::kIdent ? FrequencyFromName(v.text)
+                                                  : std::nullopt;
+        if (!freq.has_value()) {
+          return Status::ParseError("expected frequency after archive");
+        }
+        spec.archive = *freq;
+      } else {
+        break;
+      }
+    }
+    sub->report = std::move(spec);
+    return Status::OK();
+  }
+
+  Status ParseReportCondition(ReportCondition* cond) {
+    while (true) {
+      XYMON_RETURN_IF_ERROR(ParseReportAtom(cond));
+      XYMON_ASSIGN_OR_RETURN(Token t, lexer_.Peek());
+      if (!IsKw(t, "or")) return Status::OK();
+      (void)lexer_.Next();
+    }
+  }
+
+  Status ParseReportAtom(ReportCondition* cond) {
+    XYMON_ASSIGN_OR_RETURN(Token head, lexer_.Next());
+    if (head.kind != Token::Kind::kIdent) {
+      return Status::ParseError("expected report condition");
+    }
+    ReportCondition::Atom atom;
+    if (head.text == "immediate") {
+      atom.kind = ReportCondition::Atom::Kind::kImmediate;
+      cond->atoms.push_back(atom);
+      return Status::OK();
+    }
+    if (auto freq = FrequencyFromName(head.text); freq.has_value()) {
+      atom.kind = ReportCondition::Atom::Kind::kPeriodic;
+      atom.frequency = *freq;
+      cond->atoms.push_back(atom);
+      return Status::OK();
+    }
+    // `notifications.count CMP N`, `count CMP N`, `count(Name) CMP N`.
+    if (head.text == "notifications") {
+      XYMON_ASSIGN_OR_RETURN(Token dot, lexer_.Next());
+      if (dot.kind != Token::Kind::kDot) {
+        return Status::ParseError("expected '.' after notifications");
+      }
+      XYMON_ASSIGN_OR_RETURN(head, lexer_.Next());
+    }
+    if (head.text != "count") {
+      return Status::ParseError("unknown report condition '" + head.text + "'");
+    }
+    atom.kind = ReportCondition::Atom::Kind::kCount;
+    XYMON_ASSIGN_OR_RETURN(Token t, lexer_.Peek());
+    if (t.kind == Token::Kind::kLParen) {
+      (void)lexer_.Next();
+      XYMON_ASSIGN_OR_RETURN(Token name, lexer_.Next());
+      if (name.kind != Token::Kind::kIdent) {
+        return Status::ParseError("expected query name in count(...)");
+      }
+      XYMON_ASSIGN_OR_RETURN(Token close, lexer_.Next());
+      if (close.kind != Token::Kind::kRParen) {
+        return Status::ParseError("expected ')' in count(...)");
+      }
+      atom.kind = ReportCondition::Atom::Kind::kNamedCount;
+      atom.query_name = name.text;
+    }
+    XYMON_ASSIGN_OR_RETURN(Token op, lexer_.Next());
+    XYMON_ASSIGN_OR_RETURN(atom.cmp, TokenToComparator(op));
+    XYMON_ASSIGN_OR_RETURN(Token n, lexer_.Next());
+    if (n.kind != Token::Kind::kNumber) {
+      return Status::ParseError("expected count threshold");
+    }
+    atom.count = n.number;
+    cond->atoms.push_back(atom);
+    return Status::OK();
+  }
+
+  Status ParseVirtual(SubscriptionAst* sub) {
+    XYMON_ASSIGN_OR_RETURN(Token s, lexer_.Next());
+    if (s.kind != Token::Kind::kIdent) {
+      return Status::ParseError("expected Sub.Query after virtual");
+    }
+    XYMON_ASSIGN_OR_RETURN(Token dot, lexer_.Next());
+    if (dot.kind != Token::Kind::kDot) {
+      return Status::ParseError("expected '.' in virtual reference");
+    }
+    XYMON_ASSIGN_OR_RETURN(Token q, lexer_.Next());
+    if (q.kind != Token::Kind::kIdent) {
+      return Status::ParseError("expected query name in virtual reference");
+    }
+    sub->virtuals.push_back(VirtualRef{s.text, q.text});
+    return Status::OK();
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+Result<SubscriptionAst> ParseSubscription(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace xymon::sublang

@@ -1,0 +1,34 @@
+#ifndef XYMON_SUBLANG_PARSER_H_
+#define XYMON_SUBLANG_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/sublang/ast.h"
+
+namespace xymon::sublang {
+
+/// Parses one subscription in the paper's language (§5):
+///
+///   subscription MyXyleme
+///   monitoring
+///     select <UpdatedPage url=URL/>
+///     where URL extends "http://inria.fr/Xy/" and modified self
+///   monitoring
+///     select X
+///     from self//Member X
+///     where URL = "http://inria.fr/Xy/members.xml" and new X
+///   continuous ReferenceXyleme
+///     select site from references//site where site contains "xyleme"
+///     try biweekly
+///   refresh "http://inria.fr/Xy/members.xml" weekly
+///   report
+///     when notifications.count > 100
+///
+/// `%` starts a line comment. `modified` is accepted as an alias of
+/// `updated` (the paper uses both).
+Result<SubscriptionAst> ParseSubscription(std::string_view text);
+
+}  // namespace xymon::sublang
+
+#endif  // XYMON_SUBLANG_PARSER_H_

@@ -1,0 +1,80 @@
+#include "src/sublang/template.h"
+
+#include <cctype>
+#include <functional>
+#include <vector>
+
+#include "src/xml/parser.h"
+
+namespace xymon::sublang {
+
+std::string NormalizeXmlTemplate(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  bool in_quote = false;
+  char quote = '"';
+  for (size_t i = 0; i < raw.size(); ++i) {
+    char c = raw[i];
+    if (in_quote) {
+      out += c;
+      if (c == quote) in_quote = false;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      in_quote = true;
+      quote = c;
+      out += c;
+      continue;
+    }
+    out += c;
+    if (c != '=') continue;
+    // Unquoted identifier value: quote it as a placeholder.
+    size_t j = i + 1;
+    while (j < raw.size() && raw[j] == ' ') ++j;
+    if (j >= raw.size() || !(isalpha(static_cast<unsigned char>(raw[j])) ||
+                             raw[j] == '_')) {
+      continue;
+    }
+    size_t start = j;
+    while (j < raw.size() && (isalnum(static_cast<unsigned char>(raw[j])) ||
+                              raw[j] == '_')) {
+      ++j;
+    }
+    out += "\"$";
+    out.append(raw.substr(start, j - start));
+    out += "$\"";
+    i = j - 1;
+  }
+  return out;
+}
+
+Result<std::unique_ptr<xml::Node>> ExpandTemplate(
+    std::string_view template_xml,
+    const std::map<std::string, std::string>& vars) {
+  auto parsed = xml::ParseFragment(template_xml);
+  if (!parsed.ok()) {
+    return Status::ParseError("bad notification template: " +
+                              parsed.status().message());
+  }
+  std::unique_ptr<xml::Node> node = std::move(parsed).value();
+
+  // Recursively substitute $VAR$ attribute values.
+  std::function<void(xml::Node*)> substitute = [&](xml::Node* n) {
+    std::vector<std::pair<std::string, std::string>> attrs = n->attributes();
+    for (auto& [key, value] : attrs) {
+      if (value.size() >= 2 && value.front() == '$' && value.back() == '$') {
+        std::string var = value.substr(1, value.size() - 2);
+        auto it = vars.find(var);
+        value = (it == vars.end()) ? "" : it->second;
+      }
+    }
+    n->ReplaceAttributes(std::move(attrs));
+    for (const auto& child : n->children()) {
+      if (child->is_element()) substitute(child.get());
+    }
+  };
+  substitute(node.get());
+  return node;
+}
+
+}  // namespace xymon::sublang

@@ -1,0 +1,28 @@
+#ifndef XYMON_SUBLANG_TEMPLATE_H_
+#define XYMON_SUBLANG_TEMPLATE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/xml/dom.h"
+
+namespace xymon::sublang {
+
+/// Turns the paper's loose template syntax into well-formed XML with
+/// placeholders: `<UpdatedPage url=URL/>` → `<UpdatedPage url="$URL$"/>`.
+/// Quoted attribute values are left untouched.
+std::string NormalizeXmlTemplate(std::string_view raw);
+
+/// Instantiates a normalized template: every attribute value `$VAR$` is
+/// replaced from `vars` (unknown variables are substituted by "").
+/// The builtin variable URL is bound to the triggering document's URL.
+Result<std::unique_ptr<xml::Node>> ExpandTemplate(
+    std::string_view template_xml,
+    const std::map<std::string, std::string>& vars);
+
+}  // namespace xymon::sublang
+
+#endif  // XYMON_SUBLANG_TEMPLATE_H_

@@ -1,0 +1,132 @@
+#include "src/sublang/validator.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+#include "src/sublang/cost_model.h"
+
+namespace xymon::sublang {
+namespace {
+
+using alerters::Condition;
+using alerters::ConditionKind;
+
+Status CheckWord(const std::string& word, const ValidatorOptions& options,
+                 const std::string& context) {
+  if (word.empty()) return Status::OK();
+  if (options.stop_words.count(ToLower(word)) != 0) {
+    return Status::InvalidArgument("'contains \"" + word + "\"' in " + context +
+                                   " is too common a word (paper §5.4)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Validate(const SubscriptionAst& sub, const ValidatorOptions& options) {
+  if (sub.name.empty()) {
+    return Status::InvalidArgument("subscription has no name");
+  }
+  if (sub.monitoring.empty() && sub.continuous.empty() &&
+      sub.virtuals.empty()) {
+    return Status::InvalidArgument(
+        "subscription '" + sub.name +
+        "' has neither monitoring nor continuous queries nor virtual refs");
+  }
+  if (sub.monitoring.size() > options.max_monitoring_queries) {
+    return Status::ResourceExhausted(
+        "subscription '" + sub.name + "' has too many monitoring queries");
+  }
+
+  for (const MonitoringQueryAst& mq : sub.monitoring) {
+    if (mq.disjuncts.empty() ||
+        std::any_of(mq.disjuncts.begin(), mq.disjuncts.end(),
+                    [](const auto& d) { return d.empty(); })) {
+      return Status::InvalidArgument("monitoring query '" + mq.name +
+                                     "' has an empty condition list");
+    }
+    // Each disjunct must independently satisfy the weak/strong rule: one
+    // weak-only disjunct would fire on nearly every document (§5.1).
+    for (const auto& disjunct : mq.disjuncts) {
+    bool any_strong = false;
+    for (const Condition& c : disjunct) {
+      if (!c.IsWeak()) any_strong = true;
+      switch (c.kind) {
+        case ConditionKind::kUrlExtends:
+          if (c.str_value.size() < options.min_url_prefix) {
+            return Status::InvalidArgument(
+                "URL prefix \"" + c.str_value + "\" in '" + mq.name +
+                "' is too short (min " +
+                std::to_string(options.min_url_prefix) + " chars, §5.4)");
+          }
+          break;
+        case ConditionKind::kSelfContains:
+          XYMON_RETURN_IF_ERROR(CheckWord(c.str_value, options, mq.name));
+          break;
+        case ConditionKind::kElementChange:
+          XYMON_RETURN_IF_ERROR(CheckWord(c.word, options, mq.name));
+          break;
+        default:
+          break;
+      }
+    }
+    if (!any_strong) {
+      return Status::InvalidArgument(
+          "monitoring query '" + mq.name +
+          "' has a disjunct of only weak conditions (new/updated/unchanged "
+          "self); every disjunct needs a strong condition (paper §5.1)");
+    }
+    }
+    if (mq.select.kind == SelectClause::Kind::kVariable) {
+      if (!mq.from.has_value() || mq.from->var != mq.select.variable) {
+        return Status::InvalidArgument(
+            "monitoring query '" + mq.name + "' selects unbound variable '" +
+            mq.select.variable + "'");
+      }
+    }
+  }
+
+  Timestamp fastest = FrequencyPeriod(options.max_frequency);
+  for (const ContinuousQueryAst& cq : sub.continuous) {
+    if (cq.frequency.has_value() &&
+        FrequencyPeriod(*cq.frequency) < fastest) {
+      return Status::InvalidArgument(
+          "continuous query '" + cq.name + "' is too frequent (paper §5.4)");
+    }
+    if (!cq.frequency.has_value() && cq.trigger_subscription.empty()) {
+      return Status::InvalidArgument("continuous query '" + cq.name +
+                                     "' has no when/try clause");
+    }
+  }
+
+  // Virtual-only subscriptions default to immediate delivery (the manager
+  // synthesizes `when immediate`), so only own queries require a report
+  // clause.
+  bool produces_notifications =
+      !sub.monitoring.empty() || !sub.continuous.empty();
+  if (produces_notifications && !sub.report.has_value()) {
+    return Status::InvalidArgument(
+        "subscription '" + sub.name +
+        "' produces notifications but has no report clause");
+  }
+  if (sub.report.has_value() && sub.report->when.atoms.empty()) {
+    return Status::InvalidArgument("report clause of '" + sub.name +
+                                   "' has an empty when condition");
+  }
+
+  // Cost control (§5.4): estimate the subscription's load a priori and
+  // refuse expensive ones from unprivileged users.
+  if (options.max_cost > 0 && !options.privileged) {
+    double cost = EstimateCost(sub);
+    if (cost > options.max_cost) {
+      return Status::ResourceExhausted(
+          "subscription '" + sub.name + "' estimated cost " +
+          std::to_string(cost) + " exceeds the budget " +
+          std::to_string(options.max_cost) +
+          " (paper §5.4; ask for privileged access)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xymon::sublang

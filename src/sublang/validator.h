@@ -1,0 +1,49 @@
+#ifndef XYMON_SUBLANG_VALIDATOR_H_
+#define XYMON_SUBLANG_VALIDATOR_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "src/common/status.h"
+#include "src/sublang/ast.h"
+
+namespace xymon::sublang {
+
+/// Resource-control policy (paper §5.4): the system refuses subscriptions
+/// that would be disproportionately expensive — too-common contains words,
+/// too-short URL prefixes, too-frequent continuous queries.
+struct ValidatorOptions {
+  /// Words banned from `contains` conditions ("the", "a", ...).
+  std::unordered_set<std::string> stop_words = {
+      "the", "a", "an", "of", "and", "or", "to", "in", "is", "it"};
+  /// Minimum length of a `URL extends` prefix (short prefixes match the
+  /// whole web).
+  size_t min_url_prefix = 8;
+  /// Fastest allowed continuous-query / report periodicity.
+  Frequency max_frequency = Frequency::kHourly;
+  /// Hard cap on monitoring queries per subscription.
+  size_t max_monitoring_queries = 64;
+  /// Cost budget (see cost_model.h); subscriptions estimated above it are
+  /// rejected unless `privileged` — the paper's §5.4 policy. 0 disables the
+  /// check.
+  double max_cost = 0;
+  /// Privileged users may exceed the cost budget.
+  bool privileged = false;
+};
+
+/// Checks a parsed subscription against the language rules (§5.1) and the
+/// resource policy (§5.4):
+///   * every monitoring query has >= 1 condition and >= 1 strong condition
+///     (a where clause of only weak new/updated/unchanged conditions is
+///     disallowed);
+///   * contains words are not stop words;
+///   * URL prefixes are long enough;
+///   * the subscription has something observable (a monitoring or
+///     continuous query or a virtual reference) and, if it produces
+///     notifications, a report clause.
+Status Validate(const SubscriptionAst& sub,
+                const ValidatorOptions& options = {});
+
+}  // namespace xymon::sublang
+
+#endif  // XYMON_SUBLANG_VALIDATOR_H_

@@ -1,0 +1,266 @@
+#include "src/system/monitor.h"
+
+#include <set>
+
+#include "src/common/string_util.h"
+#include "src/sublang/template.h"
+#include "src/xml/serializer.h"
+
+namespace xymon::system {
+
+XylemeMonitor::XylemeMonitor(const Clock* clock, const Options& options)
+    : clock_(clock),
+      warehouse_(&classifier_),
+      url_alerter_(
+          alerters::UrlAlerter::Options{options.use_trie_prefixes}),
+      pipeline_(&url_alerter_, &xml_alerter_, &html_alerter_),
+      outbox_(reporter::Outbox::Options{options.outbox_daily_capacity, true}),
+      query_engine_(&warehouse_),
+      reporter_(&outbox_, &query_engine_),
+      manager_(
+          manager::SubscriptionManager::Components{
+              &mqp_, &url_alerter_, &xml_alerter_, &html_alerter_, &pipeline_,
+              &trigger_engine_, &reporter_, &query_engine_, clock},
+          options.validator) {
+  reporter_.set_web_portal(&web_portal_);
+  if (!options.warehouse_path.empty()) {
+    (void)warehouse_.AttachStorage(options.warehouse_path);
+  }
+  if (!options.storage_path.empty()) {
+    Status st = manager_.AttachStorage(options.storage_path);
+    // Construction cannot fail without exceptions; a bad storage path
+    // leaves the system running non-durably. Callers that need durability
+    // check manager().AttachStorage explicitly in tests.
+    (void)st;
+  }
+}
+
+Result<std::string> XylemeMonitor::Subscribe(const std::string& text,
+                                             const std::string& email) {
+  return manager_.Subscribe(text, email);
+}
+
+Status XylemeMonitor::Unsubscribe(const std::string& name) {
+  return manager_.Unsubscribe(name);
+}
+
+void XylemeMonitor::AddDomainRule(warehouse::DomainClassifier::Rule rule) {
+  classifier_.AddRule(std::move(rule));
+}
+
+void XylemeMonitor::CollectPayloads(
+    const manager::QueryBinding& binding,
+    const mqp::MqpNotification& notification,
+    const warehouse::IngestResult& ingest,
+    std::vector<std::string>* payloads) const {
+  using sublang::SelectClause;
+  switch (binding.select.kind) {
+    case SelectClause::Kind::kDefault:
+      // The paper's implemented behaviour: "notifications simply return the
+      // URL of the document and basic informations" (§5.1).
+      payloads->push_back(notification.info_xml);
+      return;
+
+    case SelectClause::Kind::kTemplate: {
+      std::map<std::string, std::string> vars{
+          {"URL", notification.url},
+          {"DOCID", std::to_string(notification.docid)},
+          {"STATUS", warehouse::DocStatusName(ingest.meta.status)},
+          {"DOMAIN", ingest.meta.domain},
+      };
+      auto expanded =
+          sublang::ExpandTemplate(binding.select.template_xml, vars);
+      payloads->push_back(expanded.ok() ? xml::Serialize(*expanded.value())
+                                        : notification.info_xml);
+      return;
+    }
+
+    case SelectClause::Kind::kVariable: {
+      if (!binding.from.has_value()) {
+        payloads->push_back(notification.info_xml);
+        return;
+      }
+      const std::string& tag = binding.from->tag;
+      // If the where clause constrains the variable with an element
+      // condition (`new X`, `updated X contains "w"`), select exactly the
+      // elements satisfying it; otherwise all elements bound by the from
+      // clause.
+      const alerters::Condition* element_cond = nullptr;
+      for (const alerters::Condition& c : binding.conditions) {
+        if (c.kind == alerters::ConditionKind::kElementChange && c.tag == tag) {
+          element_cond = &c;
+          break;
+        }
+      }
+      auto word_matches = [&](const xml::Node& el) {
+        if (element_cond == nullptr || element_cond->word.empty()) return true;
+        std::string text =
+            element_cond->strict ? [&] {
+              std::string direct;
+              for (const auto& child : el.children()) {
+                if (child->is_text()) direct += child->text();
+              }
+              return direct;
+            }()
+                                 : el.TextContent();
+        for (const std::string& token : TokenizeWords(text)) {
+          if (token == ToLower(element_cond->word)) return true;
+        }
+        return false;
+      };
+      if (element_cond != nullptr && element_cond->change_op.has_value()) {
+        for (const xmldiff::ElementChange& change : ingest.diff.changes) {
+          if (change.op == *element_cond->change_op &&
+              change.element->name() == tag && word_matches(*change.element)) {
+            payloads->push_back(xml::Serialize(*change.element));
+          }
+        }
+      } else if (ingest.current != nullptr && ingest.current->root != nullptr) {
+        for (const xml::Node* el :
+             ingest.current->root->FindDescendants(tag)) {
+          if (word_matches(*el)) {
+            payloads->push_back(xml::Serialize(*el));
+          }
+        }
+      }
+      if (payloads->empty()) {
+        payloads->push_back(notification.info_xml);
+      }
+      return;
+    }
+  }
+}
+
+void XylemeMonitor::ProcessFetch(const std::string& url,
+                                 const std::string& body) {
+  Timestamp now = clock_->Now();
+  ++stats_.documents_processed;
+
+  warehouse::IngestResult ingest = warehouse_.Ingest({url, body}, now);
+  auto alert = pipeline_.BuildAlert(ingest, body);
+  if (!alert.has_value()) return;
+  ++stats_.alerts_raised;
+
+  std::vector<mqp::MqpNotification> matches;
+  mqp_.Process(*alert, &matches);
+  // A disjunctive where clause registers several complex events for one
+  // monitoring query; a document satisfying more than one disjunct must
+  // still notify the query only once.
+  std::set<std::pair<std::string, std::string>> notified;
+  for (const mqp::MqpNotification& match : matches) {
+    const manager::QueryBinding* binding = manager_.FindBinding(match.complex_event);
+    if (binding == nullptr) continue;
+    if (!notified.emplace(binding->subscription, binding->query_name).second) {
+      continue;
+    }
+
+    std::vector<std::string> payloads;
+    CollectPayloads(*binding, match, ingest, &payloads);
+    for (std::string& payload : payloads) {
+      reporter_.AddNotification(reporter::Notification{
+          binding->subscription, binding->query_name, std::move(payload),
+          now});
+      ++stats_.notifications;
+    }
+    // Wake continuous queries listening on this monitoring query (§5.2's
+    // `when XylemeCompetitors.ChangeInMyProducts`).
+    trigger_engine_.NotifyEvent(
+        binding->subscription + "." + binding->query_name, now);
+  }
+}
+
+Status XylemeMonitor::ProcessDeletion(const std::string& url) {
+  Timestamp now = clock_->Now();
+  auto ingest = warehouse_.MarkDeleted(url, now);
+  if (!ingest.ok()) return ingest.status();
+  ++stats_.documents_processed;
+
+  auto alert = pipeline_.BuildAlert(*ingest, "");
+  if (!alert.has_value()) return Status::OK();
+  ++stats_.alerts_raised;
+
+  std::vector<mqp::MqpNotification> matches;
+  mqp_.Process(*alert, &matches);
+  std::set<std::pair<std::string, std::string>> notified;
+  for (const mqp::MqpNotification& match : matches) {
+    const manager::QueryBinding* binding =
+        manager_.FindBinding(match.complex_event);
+    if (binding == nullptr) continue;
+    if (!notified.emplace(binding->subscription, binding->query_name).second) {
+      continue;
+    }
+    std::vector<std::string> payloads;
+    CollectPayloads(*binding, match, *ingest, &payloads);
+    for (std::string& payload : payloads) {
+      reporter_.AddNotification(reporter::Notification{
+          binding->subscription, binding->query_name, std::move(payload),
+          now});
+      ++stats_.notifications;
+    }
+    trigger_engine_.NotifyEvent(
+        binding->subscription + "." + binding->query_name, now);
+  }
+  return Status::OK();
+}
+
+void XylemeMonitor::Tick() {
+  Timestamp now = clock_->Now();
+  trigger_engine_.Tick(now);
+  reporter_.Tick(now);
+}
+
+std::string XylemeMonitor::StatusReport() const {
+  auto root = xml::Node::Element("XylemeStatus");
+  root->SetAttribute("date", FormatTimestamp(clock_->Now()));
+
+  xml::Node* flow = root->AddChild(xml::Node::Element("DocumentFlow"));
+  flow->SetAttribute("processed", std::to_string(stats_.documents_processed));
+  flow->SetAttribute("alerts", std::to_string(stats_.alerts_raised));
+  flow->SetAttribute("notifications", std::to_string(stats_.notifications));
+
+  xml::Node* wh = root->AddChild(xml::Node::Element("Warehouse"));
+  wh->SetAttribute("documents", std::to_string(warehouse_.document_count()));
+
+  xml::Node* subs = root->AddChild(xml::Node::Element("Subscriptions"));
+  subs->SetAttribute("count", std::to_string(manager_.subscription_count()));
+  subs->SetAttribute("atomic_events",
+                     std::to_string(manager_.atomic_event_count()));
+
+  const mqp::Matcher& matcher = mqp_.matcher();
+  xml::Node* m = root->AddChild(xml::Node::Element("MQP"));
+  m->SetAttribute("algorithm", matcher.name());
+  m->SetAttribute("complex_events", std::to_string(matcher.size()));
+  m->SetAttribute("memory_bytes", std::to_string(matcher.MemoryUsage()));
+  m->SetAttribute("documents_matched",
+                  std::to_string(matcher.stats().documents));
+
+  xml::Node* trig = root->AddChild(xml::Node::Element("TriggerEngine"));
+  trig->SetAttribute("triggers",
+                     std::to_string(trigger_engine_.trigger_count()));
+  trig->SetAttribute("firings", std::to_string(trigger_engine_.firings()));
+
+  xml::Node* rep = root->AddChild(xml::Node::Element("Reporter"));
+  rep->SetAttribute("received",
+                    std::to_string(reporter_.notifications_received()));
+  rep->SetAttribute("reports", std::to_string(reporter_.reports_generated()));
+  rep->SetAttribute("dropped",
+                    std::to_string(reporter_.notifications_dropped()));
+
+  xml::Node* out = root->AddChild(xml::Node::Element("Outbox"));
+  out->SetAttribute("sent", std::to_string(outbox_.sent_count()));
+  out->SetAttribute("queued", std::to_string(outbox_.queued_count()));
+
+  xml::Node* portal = root->AddChild(xml::Node::Element("WebPortal"));
+  portal->SetAttribute("published",
+                       std::to_string(web_portal_.published_count()));
+
+  return xml::Serialize(*root, {.indent = true});
+}
+
+void XylemeMonitor::ApplyRefreshHints(webstub::Crawler* crawler) const {
+  for (const auto& [url, period] : manager_.refresh_hints()) {
+    crawler->SetRefreshHint(url, period);
+  }
+}
+
+}  // namespace xymon::system

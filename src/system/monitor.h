@@ -1,0 +1,131 @@
+#ifndef XYMON_SYSTEM_MONITOR_H_
+#define XYMON_SYSTEM_MONITOR_H_
+
+#include <memory>
+#include <string>
+
+#include "src/alerters/pipeline.h"
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/manager/subscription_manager.h"
+#include "src/mqp/processor.h"
+#include "src/query/engine.h"
+#include "src/reporter/reporter.h"
+#include "src/sublang/validator.h"
+#include "src/trigger/trigger_engine.h"
+#include "src/warehouse/warehouse.h"
+#include "src/webstub/crawler.h"
+
+namespace xymon::system {
+
+/// The assembled subscription system of Figure 3 — the library's main entry
+/// point. Wires warehouse → alerters → MQP → reporter plus the trigger
+/// engine and subscription manager, and drives them per fetched document.
+///
+///   SimClock clock;
+///   XylemeMonitor monitor(&clock);
+///   monitor.Subscribe(subscription_text, "user@example.org");
+///   monitor.ProcessFetch(url, body);   // per crawled page
+///   clock.Advance(kDay);
+///   monitor.Tick();                    // continuous queries, reports
+class XylemeMonitor {
+ public:
+  struct Options {
+    /// Trie vs hash `URL extends` structure (see DESIGN.md T-URL).
+    bool use_trie_prefixes = false;
+    /// Subscription recovery log path; "" disables persistence.
+    std::string storage_path;
+    /// Warehouse store path; "" keeps the repository in memory only.
+    std::string warehouse_path;
+    /// Outbox capacity (0 = unlimited); see bench_reporter.
+    uint64_t outbox_daily_capacity = 0;
+    sublang::ValidatorOptions validator;
+  };
+
+  struct Stats {
+    uint64_t documents_processed = 0;
+    uint64_t alerts_raised = 0;
+    uint64_t notifications = 0;
+  };
+
+  explicit XylemeMonitor(const Clock* clock) : XylemeMonitor(clock, {}) {}
+  XylemeMonitor(const Clock* clock, const Options& options);
+
+  XylemeMonitor(const XylemeMonitor&) = delete;
+  XylemeMonitor& operator=(const XylemeMonitor&) = delete;
+
+  // -- Subscriptions ----------------------------------------------------------
+
+  Result<std::string> Subscribe(const std::string& text,
+                                const std::string& email);
+  Status Unsubscribe(const std::string& name);
+
+  /// Domain classification rule for the semantic module stand-in.
+  void AddDomainRule(warehouse::DomainClassifier::Rule rule);
+
+  // -- The document flow ------------------------------------------------------
+
+  /// Processes one fetched page end-to-end: ingest, alert detection,
+  /// complex-event matching, notification delivery, continuous-query
+  /// triggers.
+  void ProcessFetch(const std::string& url, const std::string& body);
+
+  /// Convenience: process a crawler result.
+  void ProcessFetch(const webstub::FetchedDoc& doc) {
+    ProcessFetch(doc.url, doc.body);
+  }
+
+  /// Explicit page deletion (rare on the web; paper §5.1 footnote).
+  Status ProcessDeletion(const std::string& url);
+
+  /// Advances time-driven machinery to clock->Now(): trigger engine
+  /// (continuous queries), reporter (periodic conditions, archive GC),
+  /// outbox drain.
+  void Tick();
+
+  /// Pushes the manager's `refresh` hints into a crawler (§2.2).
+  void ApplyRefreshHints(webstub::Crawler* crawler) const;
+
+  /// Self-description: one XML document with the health counters of every
+  /// module (documents, alerts, MQP structure, reporter, outbox, portal) —
+  /// the operational view a warehouse operator watches.
+  std::string StatusReport() const;
+
+  // -- Component access (read-mostly; used by tests, benches, examples) -----
+
+  const Stats& stats() const { return stats_; }
+  warehouse::Warehouse& warehouse() { return warehouse_; }
+  reporter::Reporter& reporter() { return reporter_; }
+  reporter::Outbox& outbox() { return outbox_; }
+  reporter::WebPortal& web_portal() { return web_portal_; }
+  manager::SubscriptionManager& manager() { return manager_; }
+  const mqp::MonitoringQueryProcessor& mqp() const { return mqp_; }
+  trigger::TriggerEngine& trigger_engine() { return trigger_engine_; }
+  const query::QueryEngine& query_engine() const { return query_engine_; }
+
+ private:
+  void CollectPayloads(const manager::QueryBinding& binding,
+                       const mqp::MqpNotification& notification,
+                       const warehouse::IngestResult& ingest,
+                       std::vector<std::string>* payloads) const;
+
+  const Clock* clock_;
+  warehouse::DomainClassifier classifier_;
+  warehouse::Warehouse warehouse_;
+  alerters::UrlAlerter url_alerter_;
+  alerters::XmlAlerter xml_alerter_;
+  alerters::HtmlAlerter html_alerter_;
+  alerters::AlertPipeline pipeline_;
+  mqp::MonitoringQueryProcessor mqp_;
+  trigger::TriggerEngine trigger_engine_;
+  reporter::Outbox outbox_;
+  reporter::WebPortal web_portal_;
+  query::QueryEngine query_engine_;
+  reporter::Reporter reporter_;
+  manager::SubscriptionManager manager_;
+  Stats stats_;
+};
+
+}  // namespace xymon::system
+
+#endif  // XYMON_SYSTEM_MONITOR_H_

@@ -1,0 +1,25 @@
+#include "src/warehouse/domain_classifier.h"
+
+namespace xymon::warehouse {
+
+std::string DomainClassifier::Classify(std::string_view url,
+                                       std::string_view doctype_name,
+                                       const xml::Node* root) const {
+  for (const Rule& rule : rules_) {
+    if (!rule.doctype_name.empty() && doctype_name != rule.doctype_name) {
+      continue;
+    }
+    if (!rule.root_tag.empty() &&
+        (root == nullptr || root->name() != rule.root_tag)) {
+      continue;
+    }
+    if (!rule.url_substring.empty() &&
+        url.find(rule.url_substring) == std::string_view::npos) {
+      continue;
+    }
+    return rule.domain;
+  }
+  return "";
+}
+
+}  // namespace xymon::warehouse

@@ -1,0 +1,42 @@
+#ifndef XYMON_WAREHOUSE_METADATA_H_
+#define XYMON_WAREHOUSE_METADATA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/clock.h"
+
+namespace xymon::warehouse {
+
+/// Status of a document at its most recent fetch. These are the paper's
+/// *weak* events (§5.1): every fetched document raises exactly one of them,
+/// so a where clause may not consist solely of such a condition.
+enum class DocStatus {
+  kNew,        // first time the URL is seen
+  kUpdated,    // signature changed since the previous fetch
+  kUnchanged,  // same signature as the previous fetch
+  kDeleted,    // removed explicitly (rare on the web, paper §5.1 footnote)
+};
+
+const char* DocStatusName(DocStatus status);
+
+/// Per-document metadata maintained by the warehouse; the URL Alerter's
+/// conditions (§5.1) evaluate against exactly these fields.
+struct DocMeta {
+  uint64_t docid = 0;        // internal id (the paper's DOCID condition)
+  std::string url;
+  std::string filename;      // tail of the URL (the `filename =` condition)
+  bool is_xml = false;
+  std::string doctype_name;  // DOCTYPE name, e.g. "catalog"
+  std::string dtd_url;       // SYSTEM id (the `DTD = string` condition)
+  uint32_t dtdid = 0;        // dense id per distinct DTD (`DTDID =`)
+  std::string domain;        // semantic domain (`domain =`)
+  Timestamp last_accessed = 0;
+  Timestamp last_updated = 0;
+  uint64_t signature = 0;    // content hash (change detection for HTML too)
+  DocStatus status = DocStatus::kNew;
+};
+
+}  // namespace xymon::warehouse
+
+#endif  // XYMON_WAREHOUSE_METADATA_H_

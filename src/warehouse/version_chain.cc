@@ -1,0 +1,52 @@
+#include "src/warehouse/version_chain.h"
+
+#include "src/xmldiff/diff.h"
+
+namespace xymon::warehouse {
+
+void VersionChain::Init(const xml::Node& root, Timestamp when) {
+  snapshot_ = root.Clone();
+  snapshot_time_ = when;
+  deltas_.clear();
+}
+
+Status VersionChain::Push(xmldiff::Delta delta, Timestamp when) {
+  if (snapshot_ == nullptr) {
+    return Status::FailedPrecondition("VersionChain::Push before Init");
+  }
+  deltas_.push_back(Entry{std::move(delta), when});
+  if (deltas_.size() > max_deltas_) {
+    // Fold the oldest delta into the snapshot (garbage collection of the
+    // oldest version, §5.3's archive spirit).
+    auto next = xmldiff::Apply(*snapshot_, deltas_.front().delta);
+    if (!next.ok()) return next.status();
+    snapshot_ = std::move(next).value();
+    snapshot_time_ = deltas_.front().when;
+    deltas_.pop_front();
+  }
+  return Status::OK();
+}
+
+Result<Timestamp> VersionChain::VersionTime(size_t index) const {
+  if (snapshot_ == nullptr || index >= version_count()) {
+    return Status::NotFound("no such version");
+  }
+  if (index == 0) return snapshot_time_;
+  return deltas_[index - 1].when;
+}
+
+Result<std::unique_ptr<xml::Node>> VersionChain::Reconstruct(
+    size_t index) const {
+  if (snapshot_ == nullptr || index >= version_count()) {
+    return Status::NotFound("no such version");
+  }
+  std::unique_ptr<xml::Node> doc = snapshot_->Clone();
+  for (size_t i = 0; i < index; ++i) {
+    auto next = xmldiff::Apply(*doc, deltas_[i].delta);
+    if (!next.ok()) return next.status();
+    doc = std::move(next).value();
+  }
+  return doc;
+}
+
+}  // namespace xymon::warehouse

@@ -1,0 +1,61 @@
+#ifndef XYMON_WAREHOUSE_VERSION_CHAIN_H_
+#define XYMON_WAREHOUSE_VERSION_CHAIN_H_
+
+#include <deque>
+#include <memory>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/xml/dom.h"
+#include "src/xmldiff/delta.h"
+
+namespace xymon::warehouse {
+
+/// Bounded version history for one document, stored the way the paper's
+/// versioning mechanism does ([17], §5.2): one snapshot plus deltas —
+/// "the new version of a document can be constructed based on an old
+/// version and the delta". We keep the *oldest retained* version as the
+/// snapshot and forward deltas up to the current version; reconstruction
+/// replays deltas. When the history exceeds `max_deltas`, the oldest delta
+/// is folded into the snapshot.
+class VersionChain {
+ public:
+  explicit VersionChain(size_t max_deltas = 16) : max_deltas_(max_deltas) {}
+
+  VersionChain(VersionChain&&) = default;
+  VersionChain& operator=(VersionChain&&) = default;
+
+  /// Records the first version.
+  void Init(const xml::Node& root, Timestamp when);
+
+  /// Records a new version: `delta` transforms the latest version into the
+  /// new one. Call after Init.
+  Status Push(xmldiff::Delta delta, Timestamp when);
+
+  /// Number of reconstructible versions (snapshot + deltas).
+  size_t version_count() const {
+    return snapshot_ == nullptr ? 0 : deltas_.size() + 1;
+  }
+
+  /// Timestamp of version `index` (0 = oldest retained).
+  Result<Timestamp> VersionTime(size_t index) const;
+
+  /// Reconstructs version `index` (0 = oldest retained,
+  /// version_count()-1 = current). O(index) delta applications.
+  Result<std::unique_ptr<xml::Node>> Reconstruct(size_t index) const;
+
+ private:
+  struct Entry {
+    xmldiff::Delta delta;
+    Timestamp when;
+  };
+
+  size_t max_deltas_;
+  std::unique_ptr<xml::Node> snapshot_;
+  Timestamp snapshot_time_ = 0;
+  std::deque<Entry> deltas_;
+};
+
+}  // namespace xymon::warehouse
+
+#endif  // XYMON_WAREHOUSE_VERSION_CHAIN_H_

@@ -1,0 +1,133 @@
+#ifndef XYMON_WAREHOUSE_WAREHOUSE_H_
+#define XYMON_WAREHOUSE_WAREHOUSE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/storage/persistent_map.h"
+#include "src/warehouse/domain_classifier.h"
+#include "src/warehouse/metadata.h"
+#include "src/warehouse/version_chain.h"
+#include "src/xml/dom.h"
+#include "src/xmldiff/diff.h"
+
+namespace xymon::warehouse {
+
+/// One page as fetched by the crawler (webstub) — URL plus raw bytes. The
+/// warehouse decides whether it is XML by parsing.
+struct FetchedContent {
+  std::string url;
+  std::string body;
+};
+
+/// What the warehouse learned from ingesting one fetch. Pointers are owned
+/// by the warehouse and stay valid until the next Ingest of the same URL.
+struct IngestResult {
+  DocMeta meta;
+  /// Current parsed document; nullptr for non-XML pages.
+  const xml::Document* current = nullptr;
+  /// Previous version (XML, warehoused); nullptr on first fetch.
+  const xml::Document* previous = nullptr;
+  /// Element-level changes (kUpdated only); see xmldiff::DiffResult.
+  xmldiff::DiffResult diff;
+};
+
+/// The XML repository + index manager of Figure 1, reduced to what the
+/// monitoring chain needs (the full Xyleme repository, Natix, is out of
+/// scope — DESIGN.md §1):
+///   * stores the current version of every XML page, with persistent XIDs;
+///   * keeps the previous version long enough to diff against;
+///   * tracks metadata and change status for XML *and* HTML pages (HTML is
+///     "not warehoused": only its signature is kept, paper §1);
+///   * assigns DOCIDs and dense DTDIDs.
+class Warehouse {
+ public:
+  explicit Warehouse(const DomainClassifier* classifier = nullptr)
+      : classifier_(classifier) {}
+
+  /// Makes the repository durable (the paper's warehouse — Natix — is a
+  /// persistent store): current versions, metadata, DOCID/DTDID counters
+  /// and XID allocators are written through to `path` and recovered by the
+  /// next Open. The *previous* version is not retained across restarts
+  /// (the first post-restart fetch of a changed page diffs against the
+  /// recovered current version). Call before the first Ingest.
+  Status AttachStorage(const std::string& path);
+
+  /// Retains up to `max_deltas` historical versions per XML document
+  /// (snapshot + deltas, paper [17]). Off by default — the monitoring chain
+  /// only needs the previous version; versioning serves GetVersion /
+  /// change-inspection use cases. Call before the first Ingest.
+  void EnableVersioning(size_t max_deltas = 16) {
+    versioning_ = true;
+    max_deltas_ = max_deltas;
+  }
+
+  /// Ingests one fetch: computes the new status (new/updated/unchanged),
+  /// parses XML, versions it and computes the delta against the previous
+  /// version. Invalid XML is ingested as a non-XML page (the real system
+  /// cannot reject the web).
+  IngestResult Ingest(const FetchedContent& page, Timestamp now);
+
+  /// Marks a URL as deleted, producing element-level kDeleted changes for
+  /// the whole old tree. NotFound if the URL is unknown.
+  Result<IngestResult> MarkDeleted(const std::string& url, Timestamp now);
+
+  /// Metadata for a URL; nullptr if never ingested.
+  const DocMeta* GetMeta(const std::string& url) const;
+  /// Current XML document for a URL; nullptr if absent or non-XML.
+  const xml::Document* GetDocument(const std::string& url) const;
+
+  /// All warehoused XML documents in `domain` ("" = all) — the collection a
+  /// continuous query ranges over.
+  std::vector<std::pair<const DocMeta*, const xml::Document*>> DocumentsInDomain(
+      std::string_view domain) const;
+
+  /// Dense id for a DTD system-id (assigning a new one if unseen).
+  uint32_t DtdIdFor(const std::string& dtd_url);
+
+  // -- Version history (requires EnableVersioning) ---------------------------
+
+  /// Number of reconstructible versions of `url` (0 if unknown/non-XML).
+  size_t VersionCount(const std::string& url) const;
+  /// Reconstructs version `index` (0 = oldest retained) of `url`.
+  Result<std::unique_ptr<xml::Node>> GetVersion(const std::string& url,
+                                                size_t index) const;
+  /// Timestamp of version `index`.
+  Result<Timestamp> GetVersionTime(const std::string& url,
+                                   size_t index) const;
+
+  size_t document_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    DocMeta meta;
+    bool has_current = false;
+    bool has_previous = false;
+    xml::Document current;
+    xml::Document previous;
+    xmldiff::XidAllocator xids;
+    std::unique_ptr<VersionChain> versions;
+  };
+
+  std::string EncodeEntry(const Entry& entry) const;
+  Status DecodeEntry(const std::string& url, std::string_view record);
+  void PersistEntry(const Entry& entry);
+  void PersistCounters();
+
+  const DomainClassifier* classifier_;
+  bool versioning_ = false;
+  size_t max_deltas_ = 16;
+  std::optional<storage::PersistentMap> store_;
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
+  std::unordered_map<std::string, uint32_t> dtd_ids_;
+  uint64_t next_docid_ = 1;
+};
+
+}  // namespace xymon::warehouse
+
+#endif  // XYMON_WAREHOUSE_WAREHOUSE_H_

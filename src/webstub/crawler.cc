@@ -1,0 +1,67 @@
+#include "src/webstub/crawler.h"
+
+#include "src/alerters/html_alerter.h"
+
+namespace xymon::webstub {
+
+void Crawler::DiscoverAll(Timestamp now) {
+  for (const std::string& url : web_->Urls()) {
+    next_due_.emplace(url, now);  // Existing entries keep their schedule.
+  }
+}
+
+size_t Crawler::DiscoverFromPage(const FetchedDoc& doc, Timestamp now) {
+  size_t discovered = 0;
+  for (const std::string& link :
+       alerters::HtmlAlerter::ExtractLinks(doc.body)) {
+    if (next_due_.emplace(link, now).second) ++discovered;
+  }
+  return discovered;
+}
+
+void Crawler::SetRefreshHint(const std::string& url, Timestamp period) {
+  auto it = refresh_hints_.find(url);
+  if (it == refresh_hints_.end() || it->second > period) {
+    refresh_hints_[url] = period;
+  }
+}
+
+Timestamp Crawler::PeriodFor(const std::string& url) const {
+  auto it = refresh_hints_.find(url);
+  if (it != refresh_hints_.end() && it->second < default_period_) {
+    return it->second;
+  }
+  return default_period_;
+}
+
+std::optional<FetchedDoc> Crawler::FetchNext(Timestamp now) {
+  // Most-overdue-first. The URL population is modest in simulations, so a
+  // linear scan keeps the structure trivially consistent under hint updates.
+  auto best = next_due_.end();
+  for (auto it = next_due_.begin(); it != next_due_.end(); ++it) {
+    if (it->second > now) continue;
+    if (best == next_due_.end() || it->second < best->second) best = it;
+  }
+  if (best == next_due_.end()) return std::nullopt;
+
+  std::optional<std::string> body = web_->Fetch(best->first);
+  if (!body.has_value()) {
+    // Page vanished: forget it.
+    next_due_.erase(best);
+    return std::nullopt;
+  }
+  FetchedDoc doc{best->first, std::move(*body), now};
+  best->second = now + PeriodFor(best->first);
+  ++fetch_count_;
+  return doc;
+}
+
+std::vector<FetchedDoc> Crawler::FetchAllDue(Timestamp now) {
+  std::vector<FetchedDoc> out;
+  while (auto doc = FetchNext(now)) {
+    out.push_back(std::move(*doc));
+  }
+  return out;
+}
+
+}  // namespace xymon::webstub

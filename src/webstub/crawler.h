@@ -1,0 +1,67 @@
+#ifndef XYMON_WEBSTUB_CRAWLER_H_
+#define XYMON_WEBSTUB_CRAWLER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/webstub/synthetic_web.h"
+
+namespace xymon::webstub {
+
+/// One fetched page handed to the monitoring chain.
+struct FetchedDoc {
+  std::string url;
+  std::string body;
+  Timestamp fetch_time = 0;
+};
+
+/// The Acquisition & Refresh module (Figure 1), reduced to its observable
+/// behaviour: it decides *when to (re)read* each page. Pages carry a refresh
+/// period — the default one, or a shorter one when a subscription names the
+/// page in a `refresh` statement ("such pages will be read more often",
+/// §2.2). FetchNext returns the most overdue page, so importance hints shape
+/// the fetch order exactly as the paper describes.
+class Crawler {
+ public:
+  explicit Crawler(const SyntheticWeb* web, Timestamp default_period = kDay)
+      : web_(web), default_period_(default_period) {}
+
+  /// Learns all URLs currently on the web; newly appeared URLs are due
+  /// immediately (discovery). Call again after the web gains pages.
+  void DiscoverAll(Timestamp now);
+
+  /// `refresh url <freq>` hint: read this page at least every `period`.
+  void SetRefreshHint(const std::string& url, Timestamp period);
+
+  /// Follows the links of a fetched page: unknown URLs become due
+  /// immediately (page discovery, paper §1). Returns how many were new.
+  size_t DiscoverFromPage(const FetchedDoc& doc, Timestamp now);
+
+  /// Fetches the most overdue page, if any page is due at `now`.
+  std::optional<FetchedDoc> FetchNext(Timestamp now);
+
+  /// Fetches everything due at `now`, in due order.
+  std::vector<FetchedDoc> FetchAllDue(Timestamp now);
+
+  uint64_t fetch_count() const { return fetch_count_; }
+  size_t known_urls() const { return next_due_.size(); }
+
+ private:
+  Timestamp PeriodFor(const std::string& url) const;
+
+  const SyntheticWeb* web_;
+  Timestamp default_period_;
+  std::map<std::string, Timestamp> next_due_;  // url -> next fetch time
+  std::map<std::string, Timestamp> refresh_hints_;
+  uint64_t fetch_count_ = 0;
+};
+
+}  // namespace xymon::webstub
+
+#endif  // XYMON_WEBSTUB_CRAWLER_H_

@@ -1,0 +1,238 @@
+#include "src/webstub/synthetic_web.h"
+
+#include "src/common/hash.h"
+
+namespace xymon::webstub {
+namespace {
+
+// Vocabulary shared by all generated pages. Includes the category / keyword
+// words the examples and tests monitor.
+constexpr const char* kWords[] = {
+    "analysis", "archive",  "article",  "business", "camera",   "catalog",
+    "cluster",  "commerce", "computer", "culture",  "database", "digital",
+    "document", "electron", "engine",   "europe",   "exhibit",  "garden",
+    "hardware", "history",  "internet", "journal",  "language", "library",
+    "market",   "monitor",  "museum",   "network",  "notebook", "painting",
+    "paper",    "portable", "price",    "product",  "query",    "report",
+    "research", "science",  "screen",   "server",   "software", "stereo",
+    "storage",  "stream",   "system",   "teacher",  "theatre",  "update",
+    "vector",   "village",  "warehouse", "wireless", "xyleme",  "zoology",
+};
+constexpr size_t kWordCount = sizeof(kWords) / sizeof(kWords[0]);
+
+constexpr const char* kCategories[] = {"hi-fi", "camera", "computer", "book",
+                                       "garden"};
+constexpr const char* kFirstNames[] = {"jeremie", "benjamin", "mihai",
+                                       "serge",   "gregory",  "amelie",
+                                       "laurent", "sophie",   "vincent"};
+constexpr const char* kLastNames[] = {"jouglet", "nguyen", "preda",
+                                      "abiteboul", "cobena", "marian",
+                                      "mignet",  "cluet",  "aguilera"};
+
+const char* PickWord(uint64_t h) { return kWords[h % kWordCount]; }
+
+}  // namespace
+
+void SyntheticWeb::AddCatalogPage(const std::string& url,
+                                  const std::string& dtd_url,
+                                  uint32_t product_count, double change_rate) {
+  Page page;
+  page.kind = Page::Kind::kCatalog;
+  page.dtd_url = dtd_url;
+  page.item_count = product_count;
+  page.seed = Fnv1a(url);
+  page.change_rate = change_rate;
+  pages_[url] = std::move(page);
+}
+
+void SyntheticWeb::AddMembersPage(const std::string& url,
+                                  uint32_t initial_members,
+                                  double change_rate) {
+  Page page;
+  page.kind = Page::Kind::kMembers;
+  page.item_count = initial_members;
+  page.seed = Fnv1a(url);
+  page.change_rate = change_rate;
+  pages_[url] = std::move(page);
+}
+
+void SyntheticWeb::AddNewsPage(const std::string& url,
+                               std::vector<std::string> keywords,
+                               double change_rate) {
+  Page page;
+  page.kind = Page::Kind::kNews;
+  page.item_count = 5;
+  page.seed = Fnv1a(url);
+  page.change_rate = change_rate;
+  page.keywords = std::move(keywords);
+  pages_[url] = std::move(page);
+}
+
+void SyntheticWeb::AddHtmlPage(const std::string& url,
+                               std::vector<std::string> keywords,
+                               double change_rate) {
+  Page page;
+  page.kind = Page::Kind::kHtml;
+  page.item_count = 30;
+  page.seed = Fnv1a(url);
+  page.change_rate = change_rate;
+  page.keywords = std::move(keywords);
+  pages_[url] = std::move(page);
+}
+
+void SyntheticWeb::AddHubPage(const std::string& url,
+                              std::vector<std::string> links,
+                              double change_rate) {
+  Page page;
+  page.kind = Page::Kind::kHub;
+  page.seed = Fnv1a(url);
+  page.change_rate = change_rate;
+  page.keywords = std::move(links);  // Reuse the keyword slot for links.
+  pages_[url] = std::move(page);
+}
+
+void SyntheticWeb::RemovePage(const std::string& url) { pages_.erase(url); }
+
+std::optional<std::string> SyntheticWeb::Fetch(const std::string& url) const {
+  auto it = pages_.find(url);
+  if (it == pages_.end()) return std::nullopt;
+  return Render(url, it->second);
+}
+
+size_t SyntheticWeb::Step() {
+  size_t changed = 0;
+  for (auto& [url, page] : pages_) {
+    (void)url;
+    if (rng_.Bernoulli(page.change_rate)) {
+      ++page.version;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+std::vector<std::string> SyntheticWeb::Urls() const {
+  std::vector<std::string> out;
+  out.reserve(pages_.size());
+  for (const auto& [url, page] : pages_) {
+    (void)page;
+    out.push_back(url);
+  }
+  return out;
+}
+
+std::string SyntheticWeb::Render(const std::string& url,
+                                 const Page& page) const {
+  (void)url;
+  switch (page.kind) {
+    case Page::Kind::kCatalog:
+      return RenderCatalog(page);
+    case Page::Kind::kMembers:
+      return RenderMembers(page);
+    case Page::Kind::kNews:
+      return RenderNews(page);
+    case Page::Kind::kHtml:
+      return RenderHtml(page);
+    case Page::Kind::kHub:
+      return RenderHub(page);
+  }
+  return "";
+}
+
+std::string SyntheticWeb::RenderCatalog(const Page& page) const {
+  // Product ids form a sliding window [version, version + n): each version
+  // step inserts one new product and removes the oldest; every 7th product
+  // (by id+version phase) gets a new price, yielding `updated` elements.
+  std::string out = "<!DOCTYPE catalog SYSTEM \"" + page.dtd_url +
+                    "\">\n<catalog>\n";
+  for (uint32_t i = 0; i < page.item_count; ++i) {
+    uint64_t id = page.version + i;
+    uint64_t h = HashCombine(page.seed, id);
+    const char* category = kCategories[h % 5];
+    uint64_t base_price = 20 + h % 980;
+    bool repriced = (id + page.version) % 7 == 0;
+    uint64_t price = repriced ? base_price + page.version % 50 : base_price;
+    out += "  <Product id=\"" + std::to_string(id) + "\">";
+    out += "<name>" + std::string(PickWord(h >> 8)) + " " +
+           std::string(PickWord(h >> 16)) + "</name>";
+    out += "<category>" + std::string(category) + "</category>";
+    out += "<price>" + std::to_string(price) + "</price>";
+    out += "</Product>\n";
+  }
+  out += "</catalog>\n";
+  return out;
+}
+
+std::string SyntheticWeb::RenderMembers(const Page& page) const {
+  // The member list grows by one per version (the paper's `new Member`
+  // example).
+  std::string out = "<Members>\n";
+  uint32_t count = page.item_count + page.version;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t h = HashCombine(page.seed, i);
+    out += "  <Member><name>";
+    out += kLastNames[h % 9];
+    out += "</name><fn>";
+    out += kFirstNames[(h >> 8) % 9];
+    out += "</fn></Member>\n";
+  }
+  out += "</Members>\n";
+  return out;
+}
+
+std::string SyntheticWeb::RenderNews(const Page& page) const {
+  std::string out = "<news>\n";
+  for (uint32_t a = 0; a < page.item_count; ++a) {
+    // Articles rotate with the version: the newest article is fresh content.
+    uint64_t article_id = page.version + a;
+    uint64_t h = HashCombine(page.seed, article_id);
+    out += "  <article id=\"" + std::to_string(article_id) + "\">";
+    out += "<title>" + std::string(PickWord(h)) + " " +
+           std::string(PickWord(h >> 7)) + "</title>";
+    out += "<body>";
+    for (int w = 0; w < 12; ++w) {
+      out += PickWord(HashCombine(h, static_cast<uint64_t>(w)));
+      out += ' ';
+    }
+    for (const std::string& kw : page.keywords) {
+      if (HashCombine(h, Fnv1a(kw)) % 3 == 0) {
+        out += kw;
+        out += ' ';
+      }
+    }
+    out += "</body></article>\n";
+  }
+  out += "</news>\n";
+  return out;
+}
+
+std::string SyntheticWeb::RenderHub(const Page& page) const {
+  std::string out = "<html><head><title>hub</title></head><body><ul>";
+  for (const std::string& link : page.keywords) {
+    out += "<li><a href=\"" + link + "\">" + link + "</a></li>";
+  }
+  out += "</ul><p>version " + std::to_string(page.version) + "</p>";
+  out += "</body></html>";
+  return out;
+}
+
+std::string SyntheticWeb::RenderHtml(const Page& page) const {
+  uint64_t h = HashCombine(page.seed, page.version);
+  std::string out = "<html><head><title>";
+  out += PickWord(h);
+  out += "</title></head><body><p>";
+  for (uint32_t w = 0; w < page.item_count; ++w) {
+    out += PickWord(HashCombine(h, static_cast<uint64_t>(w)));
+    out += ' ';
+  }
+  for (const std::string& kw : page.keywords) {
+    if (HashCombine(h, Fnv1a(kw)) % 2 == 0) {
+      out += kw;
+      out += ' ';
+    }
+  }
+  out += "</p></body></html>";
+  return out;
+}
+
+}  // namespace xymon::webstub

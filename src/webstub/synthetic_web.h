@@ -1,0 +1,82 @@
+#ifndef XYMON_WEBSTUB_SYNTHETIC_WEB_H_
+#define XYMON_WEBSTUB_SYNTHETIC_WEB_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace xymon::webstub {
+
+/// A deterministic stand-in for the web (DESIGN.md §1 substitution table):
+/// the paper's experiments run against the live web via the Xyleme crawler;
+/// we synthesize a site population whose pages change under controllable
+/// per-page processes, so every experiment is reproducible from a seed.
+///
+/// Page content is a pure function of (page kind, page seed, version);
+/// Step() advances versions stochastically (deterministic RNG). The page
+/// kinds mirror the paper's motivating workloads:
+///   * catalog pages — products appear/disappear/get repriced (the
+///     `new Product` / `updated Product contains "camera"` examples of §5.1);
+///   * member pages — a member list that grows (the MyXyleme example of §2.2);
+///   * news pages — XML articles with drifting vocabulary;
+///   * HTML pages — unstructured text, only signature-level change.
+class SyntheticWeb {
+ public:
+  explicit SyntheticWeb(uint64_t seed) : rng_(seed) {}
+
+  void AddCatalogPage(const std::string& url, const std::string& dtd_url,
+                      uint32_t product_count, double change_rate = 0.5);
+  void AddMembersPage(const std::string& url, uint32_t initial_members,
+                      double change_rate = 0.3);
+  void AddNewsPage(const std::string& url,
+                   std::vector<std::string> keywords = {},
+                   double change_rate = 0.7);
+  void AddHtmlPage(const std::string& url,
+                   std::vector<std::string> keywords = {},
+                   double change_rate = 0.4);
+  /// An HTML hub page linking to other URLs — the crawler's discovery
+  /// entry point (links are followed via Crawler::DiscoverFromPage).
+  void AddHubPage(const std::string& url, std::vector<std::string> links,
+                  double change_rate = 0.1);
+  void RemovePage(const std::string& url);
+
+  /// Current content; nullopt for unknown URLs (404).
+  std::optional<std::string> Fetch(const std::string& url) const;
+
+  /// One round of web evolution: each page mutates with its change rate.
+  /// Returns the number of pages that changed.
+  size_t Step();
+
+  std::vector<std::string> Urls() const;
+  size_t page_count() const { return pages_.size(); }
+
+ private:
+  struct Page {
+    enum class Kind { kCatalog, kMembers, kNews, kHtml, kHub };
+    Kind kind;
+    std::string dtd_url;
+    uint32_t item_count = 0;
+    uint32_t version = 0;
+    uint64_t seed = 0;
+    double change_rate = 0.5;
+    std::vector<std::string> keywords;
+  };
+
+  std::string Render(const std::string& url, const Page& page) const;
+  std::string RenderCatalog(const Page& page) const;
+  std::string RenderMembers(const Page& page) const;
+  std::string RenderNews(const Page& page) const;
+  std::string RenderHtml(const Page& page) const;
+  std::string RenderHub(const Page& page) const;
+
+  std::map<std::string, Page> pages_;
+  mutable Rng rng_;
+};
+
+}  // namespace xymon::webstub
+
+#endif  // XYMON_WEBSTUB_SYNTHETIC_WEB_H_

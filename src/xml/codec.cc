@@ -1,0 +1,148 @@
+#include "src/xml/codec.h"
+
+namespace xymon::xml {
+namespace {
+
+constexpr char kMagic[] = "XYD1";
+
+void EncodeNode(const Node& node, std::string* out) {
+  out->push_back(static_cast<char>(node.type()));
+  PutString(node.name(), out);
+  if (node.is_element()) {
+    PutVarint(node.xid(), out);
+    PutVarint(node.attributes().size(), out);
+    for (const auto& [key, value] : node.attributes()) {
+      PutString(key, out);
+      PutString(value, out);
+    }
+    PutVarint(node.child_count(), out);
+    for (const auto& child : node.children()) {
+      EncodeNode(*child, out);
+    }
+  } else {
+    PutString(node.text(), out);
+    PutVarint(node.xid(), out);
+  }
+}
+
+Result<std::unique_ptr<Node>> DecodeNode(std::string_view* data, int depth) {
+  if (depth > 512) return Status::Corruption("encoded document too deep");
+  if (data->empty()) return Status::Corruption("truncated encoded node");
+  auto type = static_cast<NodeType>((*data)[0]);
+  data->remove_prefix(1);
+  if (type != NodeType::kElement && type != NodeType::kText &&
+      type != NodeType::kComment &&
+      type != NodeType::kProcessingInstruction) {
+    return Status::Corruption("bad node type in encoded document");
+  }
+
+  auto node = std::make_unique<Node>(type);
+  std::string name;
+  if (!GetString(data, &name)) {
+    return Status::Corruption("truncated node name");
+  }
+  node->set_name(std::move(name));
+
+  if (type == NodeType::kElement) {
+    uint64_t xid, attr_count, child_count;
+    if (!GetVarint(data, &xid)) return Status::Corruption("truncated xid");
+    node->set_xid(xid);
+    if (!GetVarint(data, &attr_count) || attr_count > 1 << 20) {
+      return Status::Corruption("bad attribute count");
+    }
+    for (uint64_t i = 0; i < attr_count; ++i) {
+      std::string key, value;
+      if (!GetString(data, &key) || !GetString(data, &value)) {
+        return Status::Corruption("truncated attribute");
+      }
+      node->SetAttribute(key, value);
+    }
+    if (!GetVarint(data, &child_count) || child_count > 1 << 24) {
+      return Status::Corruption("bad child count");
+    }
+    for (uint64_t i = 0; i < child_count; ++i) {
+      auto child = DecodeNode(data, depth + 1);
+      if (!child.ok()) return child.status();
+      node->AddChild(std::move(child).value());
+    }
+  } else {
+    std::string text;
+    uint64_t xid;
+    if (!GetString(data, &text) || !GetVarint(data, &xid)) {
+      return Status::Corruption("truncated text node");
+    }
+    node->set_text(std::move(text));
+    node->set_xid(xid);
+  }
+  return node;
+}
+
+}  // namespace
+
+void PutVarint(uint64_t value, std::string* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+bool GetVarint(std::string_view* data, uint64_t* value) {
+  *value = 0;
+  int shift = 0;
+  while (!data->empty() && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>((*data)[0]);
+    data->remove_prefix(1);
+    *value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return true;
+    shift += 7;
+  }
+  return false;
+}
+
+void PutString(std::string_view s, std::string* out) {
+  PutVarint(s.size(), out);
+  out->append(s);
+}
+
+bool GetString(std::string_view* data, std::string* out) {
+  uint64_t len;
+  if (!GetVarint(data, &len) || data->size() < len) return false;
+  out->assign(data->substr(0, len));
+  data->remove_prefix(len);
+  return true;
+}
+
+std::string EncodeDocument(const Document& doc) {
+  std::string out(kMagic, 4);
+  PutString(doc.doctype_name, &out);
+  PutString(doc.dtd_url, &out);
+  out.push_back(doc.root != nullptr ? 1 : 0);
+  if (doc.root != nullptr) EncodeNode(*doc.root, &out);
+  return out;
+}
+
+Result<Document> DecodeDocument(std::string_view data) {
+  if (data.size() < 5 || data.substr(0, 4) != kMagic) {
+    return Status::Corruption("bad document magic");
+  }
+  data.remove_prefix(4);
+  Document doc;
+  if (!GetString(&data, &doc.doctype_name) ||
+      !GetString(&data, &doc.dtd_url) || data.empty()) {
+    return Status::Corruption("truncated document prolog");
+  }
+  bool has_root = data[0] != 0;
+  data.remove_prefix(1);
+  if (has_root) {
+    auto root = DecodeNode(&data, 0);
+    if (!root.ok()) return root.status();
+    doc.root = std::move(root).value();
+  }
+  if (!data.empty()) {
+    return Status::Corruption("trailing bytes after encoded document");
+  }
+  return doc;
+}
+
+}  // namespace xymon::xml

@@ -1,0 +1,37 @@
+#ifndef XYMON_XML_CODEC_H_
+#define XYMON_XML_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/xml/dom.h"
+
+namespace xymon::xml {
+
+/// Compact binary encoding of documents — the storage format of the
+/// persistent warehouse. Unlike textual serialization it preserves XIDs
+/// (persistent element identities survive a restart, which the diff/
+/// versioning chain depends on) and round-trips exactly:
+/// Decode(Encode(d)) == d including identities.
+///
+/// Format (all integers LEB128 varints, strings length-prefixed):
+///   magic "XYD1"
+///   doctype_name, dtd_url
+///   node := type(u8) ...
+///     element: name, xid, attr_count, (key, value)*, child_count, node*
+///     text/comment/pi: name, text, xid
+std::string EncodeDocument(const Document& doc);
+
+Result<Document> DecodeDocument(std::string_view data);
+
+/// Low-level varint helpers (exposed for the warehouse's metadata records).
+void PutVarint(uint64_t value, std::string* out);
+bool GetVarint(std::string_view* data, uint64_t* value);
+void PutString(std::string_view s, std::string* out);
+bool GetString(std::string_view* data, std::string* out);
+
+}  // namespace xymon::xml
+
+#endif  // XYMON_XML_CODEC_H_

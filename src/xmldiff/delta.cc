@@ -1,0 +1,77 @@
+#include "src/xmldiff/delta.h"
+
+namespace xymon::xmldiff {
+
+const char* ChangeOpName(ChangeOp op) {
+  switch (op) {
+    case ChangeOp::kNew:
+      return "new";
+    case ChangeOp::kUpdated:
+      return "updated";
+    case ChangeOp::kDeleted:
+      return "deleted";
+  }
+  return "?";
+}
+
+Delta Delta::Clone() const {
+  Delta out;
+  out.ops.reserve(ops.size());
+  for (const DeltaOp& op : ops) {
+    DeltaOp copy;
+    copy.type = op.type;
+    copy.xid = op.xid;
+    copy.parent_xid = op.parent_xid;
+    copy.position = op.position;
+    copy.new_text = op.new_text;
+    copy.new_attributes = op.new_attributes;
+    if (op.subtree != nullptr) copy.subtree = op.subtree->Clone();
+    out.ops.push_back(std::move(copy));
+  }
+  return out;
+}
+
+std::unique_ptr<xml::Node> Delta::ToXml() const {
+  auto root = xml::Node::Element("delta");
+  for (const DeltaOp& op : ops) {
+    switch (op.type) {
+      case DeltaOpType::kInsert: {
+        xml::Node* ins = root->AddChild(xml::Node::Element("inserted"));
+        ins->SetAttribute("parent", std::to_string(op.parent_xid));
+        ins->SetAttribute("position", std::to_string(op.position));
+        if (op.subtree != nullptr) ins->AddChild(op.subtree->Clone());
+        break;
+      }
+      case DeltaOpType::kDelete: {
+        xml::Node* del = root->AddChild(xml::Node::Element("deleted"));
+        del->SetAttribute("ID", std::to_string(op.xid));
+        break;
+      }
+      case DeltaOpType::kUpdateText: {
+        xml::Node* upd = root->AddChild(xml::Node::Element("updated"));
+        upd->SetAttribute("ID", std::to_string(op.xid));
+        upd->AddChild(xml::Node::Text(op.new_text));
+        break;
+      }
+      case DeltaOpType::kUpdateAttrs: {
+        xml::Node* upd = root->AddChild(xml::Node::Element("updated"));
+        upd->SetAttribute("ID", std::to_string(op.xid));
+        xml::Node* attrs = upd->AddChild(xml::Node::Element("attributes"));
+        for (const auto& [k, v] : op.new_attributes) {
+          attrs->SetAttribute(k, v);
+        }
+        break;
+      }
+      case DeltaOpType::kMove: {
+        xml::Node* mv = root->AddChild(xml::Node::Element("moved"));
+        mv->SetAttribute("ID", std::to_string(op.xid));
+        mv->SetAttribute("parent", std::to_string(op.parent_xid));
+        mv->SetAttribute("position", std::to_string(op.position));
+        break;
+      }
+    }
+  }
+  return root;
+}
+
+}  // namespace xymon::xmldiff

@@ -1,0 +1,82 @@
+#ifndef XYMON_XMLDIFF_DELTA_H_
+#define XYMON_XMLDIFF_DELTA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/xml/dom.h"
+
+namespace xymon::xmldiff {
+
+enum class DeltaOpType {
+  /// A whole subtree was inserted under `parent_xid` at child index
+  /// `position` (index in the NEW child list).
+  kInsert,
+  /// The node `xid` (and its subtree) was removed.
+  kDelete,
+  /// The text node `xid` changed character data to `new_text`.
+  kUpdateText,
+  /// The element `xid` changed its attribute list to `new_attributes`.
+  kUpdateAttrs,
+  /// The node `xid` moved to child index `position` of `parent_xid`,
+  /// unchanged in content and identity (XyDiff's move op [17]): a reordered
+  /// catalog entry is neither "new" nor "deleted".
+  kMove,
+};
+
+/// One edit of a delta. Value semantics except for the owned subtree.
+struct DeltaOp {
+  DeltaOpType type;
+  uint64_t xid = 0;         // target of delete/update; root xid of insert
+  uint64_t parent_xid = 0;  // insert only
+  size_t position = 0;      // insert only: final index among parent's children
+  std::unique_ptr<xml::Node> subtree;  // insert only (owns the content)
+  std::string new_text;                // update-text only
+  std::vector<std::pair<std::string, std::string>> new_attributes;
+
+  DeltaOp() = default;
+  DeltaOp(DeltaOp&&) = default;
+  DeltaOp& operator=(DeltaOp&&) = default;
+};
+
+/// An ordered edit script old → new, in the spirit of the paper's XyDiff
+/// deltas [17]: the new version of a document can be reconstructed from the
+/// old version plus the delta (see Apply in diff.h).
+struct Delta {
+  std::vector<DeltaOp> ops;
+
+  bool empty() const { return ops.empty(); }
+
+  /// Deep copy (clones inserted subtrees).
+  Delta Clone() const;
+
+  /// Serializes to the paper's report format:
+  ///   <delta>
+  ///     <inserted parent="556" position="4">...subtree...</inserted>
+  ///     <updated ID="332">new text</updated>
+  ///     <deleted ID="17"/>
+  ///   </delta>
+  std::unique_ptr<xml::Node> ToXml() const;
+};
+
+/// How an element changed between two versions; consumed by the XML Alerter
+/// to raise `new/updated/deleted TAG [contains WORD]` atomic events (§5.1).
+enum class ChangeOp { kNew, kUpdated, kDeleted };
+
+/// Name of the op as used by the subscription language keywords.
+const char* ChangeOpName(ChangeOp op);
+
+/// One changed element. `element` points into the NEW document for
+/// kNew/kUpdated and into the OLD document for kDeleted; it stays valid only
+/// as long as the respective document does.
+struct ElementChange {
+  ChangeOp op;
+  const xml::Node* element;
+};
+
+}  // namespace xymon::xmldiff
+
+#endif  // XYMON_XMLDIFF_DELTA_H_

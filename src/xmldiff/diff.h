@@ -1,0 +1,45 @@
+#ifndef XYMON_XMLDIFF_DIFF_H_
+#define XYMON_XMLDIFF_DIFF_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/xml/dom.h"
+#include "src/xmldiff/delta.h"
+#include "src/xmldiff/xid.h"
+
+namespace xymon::xmldiff {
+
+/// Diff output: the edit script plus the element-level change summary the
+/// alerters consume.
+struct DiffResult {
+  Delta delta;
+  /// Every element that is new, updated or deleted. `kNew` covers every
+  /// element inside an inserted subtree (a catalog insertion of
+  /// <Entry><Product/></Entry> makes Product "new" too, matching §5.1).
+  std::vector<ElementChange> changes;
+};
+
+/// Computes the delta transforming `old_root` into `new_root`.
+///
+/// Side effect: XIDs are propagated — every node of `new_root` matched to an
+/// old node receives that node's XID, unmatched (inserted) nodes get fresh
+/// XIDs from `alloc`. `old_root` must already be fully XID-assigned
+/// (XidAllocator::AssignAll).
+///
+/// Matching is order-preserving, XyDiff-style: an LCS over child subtree
+/// hashes anchors unchanged content, the gaps are paired in order by tag and
+/// recursed into; leftovers become inserts/deletes.
+DiffResult Diff(const xml::Node& old_root, xml::Node* new_root,
+                XidAllocator* alloc);
+
+/// Reconstructs the new version: returns Apply(old, Diff(old,new)) == new
+/// (modulo XIDs on inserted nodes, which are preserved here because the
+/// delta's subtrees carry them).
+Result<std::unique_ptr<xml::Node>> Apply(const xml::Node& old_root,
+                                         const Delta& delta);
+
+}  // namespace xymon::xmldiff
+
+#endif  // XYMON_XMLDIFF_DIFF_H_

@@ -1,0 +1,28 @@
+#include "src/xmldiff/xid.h"
+
+namespace xymon::xmldiff {
+
+void XidAllocator::AssignAll(xml::Node* subtree) {
+  if (subtree->xid() == 0) subtree->set_xid(Fresh());
+  for (const auto& child : subtree->children()) {
+    AssignAll(child.get());
+  }
+}
+
+XidIndex::XidIndex(xml::Node* root) {
+  // Iterative DFS; documents can be deep in failure-injection tests.
+  std::vector<xml::Node*> stack{root};
+  while (!stack.empty()) {
+    xml::Node* n = stack.back();
+    stack.pop_back();
+    if (n->xid() != 0) index_[n->xid()] = n;
+    for (const auto& c : n->children()) stack.push_back(c.get());
+  }
+}
+
+xml::Node* XidIndex::Find(uint64_t xid) const {
+  auto it = index_.find(xid);
+  return it == index_.end() ? nullptr : it->second;
+}
+
+}  // namespace xymon::xmldiff

@@ -1,0 +1,47 @@
+#ifndef XYMON_XMLDIFF_XID_H_
+#define XYMON_XMLDIFF_XID_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/xml/dom.h"
+
+namespace xymon::xmldiff {
+
+/// Allocator of persistent element identifiers (XIDs, paper §5.2 / [17]).
+/// Each warehoused document carries one allocator so that identifiers are
+/// never reused across versions: a node keeps its XID for as long as it
+/// "survives" diffs, which is what makes deltas addressable
+/// (`<inserted parent="556" position="4">`).
+class XidAllocator {
+ public:
+  explicit XidAllocator(uint64_t next = 1) : next_(next) {}
+
+  uint64_t Fresh() { return next_++; }
+  uint64_t next() const { return next_; }
+
+  /// Assigns fresh XIDs to every node of `subtree` that has none (xid==0).
+  void AssignAll(xml::Node* subtree);
+
+ private:
+  uint64_t next_;
+};
+
+/// Index from XID to node for one document version. Built before applying a
+/// delta.
+class XidIndex {
+ public:
+  explicit XidIndex(xml::Node* root);
+
+  /// Returns nullptr if the XID is unknown.
+  xml::Node* Find(uint64_t xid) const;
+
+  size_t size() const { return index_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, xml::Node*> index_;
+};
+
+}  // namespace xymon::xmldiff
+
+#endif  // XYMON_XMLDIFF_XID_H_

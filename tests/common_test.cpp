@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/arena.h"
+#include "src/common/clock.h"
+#include "src/common/hash.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/string_util.h"
+
+namespace xymon {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllConstructorsMapToPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    XYMON_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsIOError());
+}
+
+// ---------------------------------------------------------------- Result --
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnBindsValue) {
+  auto producer = []() -> Result<int> { return 5; };
+  auto consumer = [&]() -> Result<int> {
+    XYMON_ASSIGN_OR_RETURN(int v, producer());
+    return v * 2;
+  };
+  ASSERT_TRUE(consumer().ok());
+  EXPECT_EQ(*consumer(), 10);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+// ----------------------------------------------------------------- Clock --
+
+TEST(ClockTest, SimClockAdvances) {
+  SimClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.Advance(kDay);
+  EXPECT_EQ(clock.Now(), 100 + 86400);
+  clock.Set(5);
+  EXPECT_EQ(clock.Now(), 5);
+}
+
+TEST(ClockTest, FormatTimestampEpoch) {
+  EXPECT_EQ(FormatTimestamp(0), "1970-01-01 00:00:00");
+  EXPECT_EQ(FormatTimestamp(kDay + kHour), "1970-01-02 01:00:00");
+}
+
+TEST(ClockTest, ConstantsConsistent) {
+  EXPECT_EQ(kMinute, 60);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+  EXPECT_EQ(kWeek, 7 * kDay);
+}
+
+// ------------------------------------------------------------------ Hash --
+
+TEST(HashTest, Fnv1aIsDeterministic) {
+  EXPECT_EQ(Fnv1a("hello"), Fnv1a("hello"));
+  EXPECT_NE(Fnv1a("hello"), Fnv1a("hellp"));
+  EXPECT_NE(Fnv1a(""), Fnv1a(std::string_view("\0", 1)));
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  EXPECT_NE(HashCombine(Fnv1a("a"), Fnv1a("b")),
+            HashCombine(Fnv1a("b"), Fnv1a("a")));
+}
+
+TEST(HashTest, HashU32SpreadsLowBits) {
+  std::set<uint32_t> low_bits;
+  for (uint32_t i = 0; i < 64; ++i) {
+    low_bits.insert(HashU32(i) & 0xFF);
+  }
+  // Sequential keys must not collapse to a few buckets.
+  EXPECT_GT(low_bits.size(), 32u);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(3);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_GT(hits, 2500);
+  EXPECT_LT(hits, 3500);
+}
+
+// ----------------------------------------------------------------- Arena --
+
+TEST(ArenaTest, AllocationsDistinctAndAligned) {
+  Arena arena(256);
+  void* a = arena.Allocate(10);
+  void* b = arena.Allocate(10);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(arena.Allocate(1, 64)) % 64, 0u);
+}
+
+TEST(ArenaTest, LargeAllocationGetsOwnBlock) {
+  Arena arena(64);
+  void* p = arena.Allocate(1000);
+  EXPECT_NE(p, nullptr);
+  EXPECT_GE(arena.allocated_bytes(), 1000u);
+}
+
+TEST(ArenaTest, AllocateArrayValueInitializes) {
+  Arena arena;
+  int* xs = arena.AllocateArray<int>(16);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(xs[i], 0);
+}
+
+// ----------------------------------------------------------- StringUtil --
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("http://x/y", "http://"));
+  EXPECT_FALSE(StartsWith("htt", "http"));
+  EXPECT_TRUE(EndsWith("index.html", ".html"));
+  EXPECT_FALSE(EndsWith("x", "xyz"));
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+}
+
+TEST(StringUtilTest, ToLowerAsciiOnly) {
+  EXPECT_EQ(ToLower("MiXeD123"), "mixed123");
+}
+
+TEST(StringUtilTest, JoinWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(Join({}, "/"), "");
+}
+
+TEST(StringUtilTest, TokenizeWordsLowercasesAndSplits) {
+  auto words = TokenizeWords("Hello, World! it's FNAC-2000");
+  ASSERT_EQ(words.size(), 5u);
+  EXPECT_EQ(words[0], "hello");
+  EXPECT_EQ(words[1], "world");
+  EXPECT_EQ(words[2], "it");
+  EXPECT_EQ(words[3], "s");
+  EXPECT_EQ(words[4], "fnac-2000");
+}
+
+TEST(StringUtilTest, UrlFilenameTakesTail) {
+  EXPECT_EQ(UrlFilename("http://a/b/index.html"), "index.html");
+  EXPECT_EQ(UrlFilename("nopath"), "nopath");
+  EXPECT_EQ(UrlFilename("http://a/b/"), "");
+}
+
+}  // namespace
+}  // namespace xymon

@@ -1,0 +1,250 @@
+// Failure injection across the stack: hostile XML from the "web", storage
+// corruption, malformed subscriptions, resource-limit behaviour. The
+// monitoring system cannot choose its inputs — the crawler feeds it
+// whatever a server returns — so every layer must degrade, not die.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/common/rng.h"
+#include "src/storage/persistent_map.h"
+#include "src/system/monitor.h"
+#include "src/xml/parser.h"
+
+namespace xymon {
+namespace {
+
+// ------------------------------------------------------------ hostile XML --
+
+TEST(HostileXmlTest, DepthLimitStopsPathologicalNesting) {
+  std::string bomb;
+  for (int i = 0; i < 100'000; ++i) bomb += "<d>";
+  auto st = xml::Parse(bomb).status();
+  // Either a parse error (truncated) or the depth guard — never a crash.
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+
+  xml::ParseOptions options;
+  options.max_depth = 16;
+  std::string shallow = "<a><b><c/></b></a>";
+  EXPECT_TRUE(xml::Parse(shallow, options).ok());
+  std::string deep;
+  for (int i = 0; i < 20; ++i) deep += "<d>";
+  for (int i = 0; i < 20; ++i) deep += "</d>";
+  EXPECT_TRUE(xml::Parse(deep, options).status().IsResourceExhausted());
+}
+
+TEST(HostileXmlTest, InputSizeLimit) {
+  xml::ParseOptions options;
+  options.max_input_bytes = 64;
+  std::string big = "<a>" + std::string(100, 'x') + "</a>";
+  EXPECT_TRUE(xml::Parse(big, options).status().IsResourceExhausted());
+  EXPECT_TRUE(xml::Parse("<a>ok</a>", options).ok());
+}
+
+TEST(HostileXmlTest, TruncationsAtEveryPrefixNeverCrash) {
+  constexpr char kDoc[] =
+      "<!DOCTYPE c SYSTEM \"http://e/c.dtd\">"
+      "<c a=\"v&amp;\"><p>text &#65; <![CDATA[raw]]><!-- c --></p></c>";
+  std::string doc(kDoc);
+  for (size_t len = 0; len < doc.size(); ++len) {
+    auto result = xml::Parse(doc.substr(0, len));
+    // Prefixes must parse or fail cleanly — either way, no crash, and an
+    // error Status carries a message.
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+  EXPECT_TRUE(xml::Parse(doc).ok());
+}
+
+TEST(HostileXmlTest, RandomByteMutationsNeverCrash) {
+  constexpr char kDoc[] =
+      "<catalog><Product id=\"1\"><name>cam &amp; co</name>"
+      "<price>99</price></Product></catalog>";
+  Rng rng(13);
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated(kDoc);
+    size_t flips = 1 + rng.Uniform(4);
+    for (size_t f = 0; f < flips; ++f) {
+      mutated[rng.Uniform(mutated.size())] =
+          static_cast<char>(rng.Uniform(256));
+    }
+    auto result = xml::Parse(mutated);  // Must not crash or hang.
+    (void)result;
+  }
+}
+
+TEST(HostileXmlTest, SystemSurvivesGarbagePages) {
+  SimClock clock(0);
+  system::XylemeMonitor monitor(&clock);
+  ASSERT_TRUE(monitor
+                  .Subscribe(R"(
+subscription S
+monitoring
+select default
+where URL extends "http://evil.example.org/" and new Product
+report when immediate
+)",
+                             "u@x")
+                  .ok());
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    std::string body;
+    size_t len = rng.Uniform(300);
+    for (size_t b = 0; b < len; ++b) {
+      body += static_cast<char>(rng.Uniform(256));
+    }
+    monitor.ProcessFetch("http://evil.example.org/p" + std::to_string(i),
+                         body);
+  }
+  // Garbage parses as non-XML: tracked by signature, no elements, no crash.
+  EXPECT_EQ(monitor.stats().documents_processed, 200u);
+  // A legitimate page afterwards still works.
+  monitor.ProcessFetch("http://evil.example.org/ok.xml",
+                       "<c><Product/></c>");
+  EXPECT_EQ(monitor.stats().notifications, 1u);
+}
+
+TEST(HostileXmlTest, PageFlappingBetweenXmlAndGarbage) {
+  SimClock clock(0);
+  system::XylemeMonitor monitor(&clock);
+  ASSERT_TRUE(monitor
+                  .Subscribe(R"(
+subscription S
+monitoring
+select default
+where URL extends "http://flap.example.org/" and new Product
+report when immediate
+)",
+                             "u@x")
+                  .ok());
+  const std::string url = "http://flap.example.org/p.xml";
+  monitor.ProcessFetch(url, "<c><Product id=\"1\"/></c>");
+  EXPECT_EQ(monitor.stats().notifications, 1u);
+  monitor.ProcessFetch(url, "%%% broken <<<");
+  monitor.ProcessFetch(url, "<c><Product id=\"1\"/></c>");
+  // Back to XML: the whole tree counts as new again (the old version was
+  // dropped when the page stopped parsing).
+  EXPECT_EQ(monitor.stats().notifications, 2u);
+}
+
+// -------------------------------------------------------- storage failures --
+
+class StorageFailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("xymon_failure_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(StorageFailureTest, RandomizedOpsMatchReferenceAcrossReopen) {
+  // Property: a PersistentMap behaves like std::map across arbitrary
+  // op sequences interleaved with checkpoints and crashes (reopen).
+  std::string path = dir_ / "map";
+  std::map<std::string, std::string> reference;
+  Rng rng(21);
+  for (int session = 0; session < 10; ++session) {
+    auto map = storage::PersistentMap::Open(path);
+    ASSERT_TRUE(map.ok());
+    ASSERT_EQ(map->data(), reference) << "session " << session;
+    for (int op = 0; op < 100; ++op) {
+      std::string key = "k" + std::to_string(rng.Uniform(20));
+      switch (rng.Uniform(3)) {
+        case 0: {
+          std::string value = "v" + std::to_string(rng.Next());
+          ASSERT_TRUE(map->Put(key, value).ok());
+          reference[key] = value;
+          break;
+        }
+        case 1:
+          ASSERT_TRUE(map->Delete(key).ok());
+          reference.erase(key);
+          break;
+        case 2:
+          if (rng.Bernoulli(0.1)) {
+            ASSERT_TRUE(map->Checkpoint().ok());
+          }
+          break;
+      }
+    }
+    // "Crash": map destructor without further ceremony; next session
+    // replays the log.
+  }
+}
+
+TEST_F(StorageFailureTest, ManagerStorageWithTornTailRecovers) {
+  std::string path = dir_ / "subs";
+  {
+    SimClock clock(0);
+    system::XylemeMonitor::Options options;
+    options.storage_path = path;
+    system::XylemeMonitor monitor(&clock, options);
+    ASSERT_TRUE(monitor
+                    .Subscribe("subscription A\nmonitoring\nselect default\n"
+                               "where URL extends \"http://a.example.org/\"\n"
+                               "report when immediate\n",
+                               "a@x")
+                    .ok());
+  }
+  {
+    // Torn write at the tail (simulated crash mid-append).
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    f.write("\xff\x00\x00\x00half", 8);
+  }
+  SimClock clock(0);
+  system::XylemeMonitor::Options options;
+  options.storage_path = path;
+  system::XylemeMonitor monitor(&clock, options);
+  // Subscription A survived; system is live.
+  monitor.ProcessFetch("http://a.example.org/x", "<p/>");
+  EXPECT_EQ(monitor.stats().notifications, 1u);
+}
+
+// ------------------------------------------------- subscription rejection --
+
+TEST(SubscriptionFailureTest, RejectionsAreCleanAndSystemStaysUsable) {
+  SimClock clock(0);
+  system::XylemeMonitor monitor(&clock);
+  const char* bad_subscriptions[] = {
+      "",                                     // empty
+      "subscription",                         // truncated
+      "subscription X",                       // nothing monitored
+      "subscription X monitoring",            // no select
+      "subscription X monitoring select default",  // no where
+      "subscription X monitoring select default where modified self "
+      "report when immediate",                // weak-only
+      "subscription X monitoring select default where URL extends \"x\" "
+      "report when immediate",                // prefix too short
+      "subscription X monitoring select default where nonsense ~~~",
+      "subscription X virtual Missing.Query",  // dangling virtual
+      "subscription X continuous Q select broken ~~ when daily "
+      "report when immediate",                // broken continuous query
+  };
+  for (const char* text : bad_subscriptions) {
+    auto result = monitor.Subscribe(text, "u@x");
+    EXPECT_FALSE(result.ok()) << "accepted: " << text;
+  }
+  // Nothing leaked into the live structures.
+  EXPECT_EQ(monitor.manager().subscription_count(), 0u);
+  EXPECT_EQ(monitor.manager().atomic_event_count(), 0u);
+  EXPECT_EQ(monitor.mqp().matcher().size(), 0u);
+
+  // And a good subscription still registers.
+  EXPECT_TRUE(monitor
+                  .Subscribe("subscription OK\nmonitoring\nselect default\n"
+                             "where URL extends \"http://fine.example.org/\"\n"
+                             "report when immediate\n",
+                             "u@x")
+                  .ok());
+}
+
+}  // namespace
+}  // namespace xymon

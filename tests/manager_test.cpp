@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "src/manager/subscription_manager.h"
+
+namespace xymon::manager {
+namespace {
+
+constexpr char kSimpleSub[] = R"(
+subscription Simple
+monitoring
+select default
+where URL extends "http://site.org/" and new Product
+report when immediate
+)";
+
+constexpr char kOtherSub[] = R"(
+subscription Other
+monitoring
+select default
+where URL extends "http://site.org/" and updated Product
+report when immediate
+)";
+
+class ManagerTest : public ::testing::Test {
+ protected:
+  ManagerTest()
+      : pipeline_(&url_alerter_, &xml_alerter_, &html_alerter_),
+        query_engine_(&warehouse_),
+        reporter_(&outbox_, &query_engine_),
+        manager_(SubscriptionManager::Components{
+            &mqp_, &url_alerter_, &xml_alerter_, &html_alerter_, &pipeline_,
+            &trigger_engine_, &reporter_, &query_engine_, &clock_}) {}
+
+  SimClock clock_;
+  warehouse::Warehouse warehouse_;
+  mqp::MonitoringQueryProcessor mqp_;
+  alerters::UrlAlerter url_alerter_;
+  alerters::XmlAlerter xml_alerter_;
+  alerters::HtmlAlerter html_alerter_;
+  alerters::AlertPipeline pipeline_;
+  trigger::TriggerEngine trigger_engine_;
+  reporter::Outbox outbox_;
+  query::QueryEngine query_engine_;
+  reporter::Reporter reporter_;
+  SubscriptionManager manager_;
+};
+
+TEST_F(ManagerTest, SubscribeRegistersEverything) {
+  auto name = manager_.Subscribe(kSimpleSub, "u@x");
+  ASSERT_TRUE(name.ok()) << name.status().ToString();
+  EXPECT_EQ(*name, "Simple");
+  EXPECT_EQ(manager_.subscription_count(), 1u);
+  EXPECT_EQ(manager_.atomic_event_count(), 2u);
+  EXPECT_EQ(url_alerter_.condition_count(), 1u);
+  EXPECT_EQ(xml_alerter_.condition_count(), 1u);
+  EXPECT_EQ(mqp_.matcher().size(), 1u);
+}
+
+TEST_F(ManagerTest, ConditionsSharedAcrossSubscriptions) {
+  ASSERT_TRUE(manager_.Subscribe(kSimpleSub, "a@x").ok());
+  ASSERT_TRUE(manager_.Subscribe(kOtherSub, "b@x").ok());
+  // "URL extends http://site.org/" is shared: 2 + 2 conditions but only 3
+  // distinct atomic events.
+  EXPECT_EQ(manager_.atomic_event_count(), 3u);
+  EXPECT_EQ(url_alerter_.condition_count(), 1u);
+  EXPECT_EQ(mqp_.matcher().size(), 2u);
+}
+
+TEST_F(ManagerTest, UnsubscribeReleasesSharedConditionsLazily) {
+  ASSERT_TRUE(manager_.Subscribe(kSimpleSub, "a@x").ok());
+  ASSERT_TRUE(manager_.Subscribe(kOtherSub, "b@x").ok());
+  ASSERT_TRUE(manager_.Unsubscribe("Simple").ok());
+  // The shared URL condition survives (Other still needs it).
+  EXPECT_EQ(manager_.atomic_event_count(), 2u);
+  EXPECT_EQ(url_alerter_.condition_count(), 1u);
+  ASSERT_TRUE(manager_.Unsubscribe("Other").ok());
+  EXPECT_EQ(manager_.atomic_event_count(), 0u);
+  EXPECT_EQ(url_alerter_.condition_count(), 0u);
+  EXPECT_EQ(mqp_.matcher().size(), 0u);
+  EXPECT_TRUE(manager_.Unsubscribe("Other").IsNotFound());
+}
+
+TEST_F(ManagerTest, DuplicateNameRejected) {
+  ASSERT_TRUE(manager_.Subscribe(kSimpleSub, "a@x").ok());
+  EXPECT_TRUE(manager_.Subscribe(kSimpleSub, "b@x").status().IsAlreadyExists());
+}
+
+TEST_F(ManagerTest, InvalidSubscriptionRejectedAtomically) {
+  // Weak-only where clause: rejected by the validator; nothing registered.
+  auto r = manager_.Subscribe(R"(
+subscription Bad
+monitoring
+select default
+where modified self
+report when immediate
+)",
+                              "u@x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(manager_.subscription_count(), 0u);
+  EXPECT_EQ(manager_.atomic_event_count(), 0u);
+  EXPECT_EQ(url_alerter_.condition_count(), 0u);
+}
+
+TEST_F(ManagerTest, BrokenContinuousQueryRolledBack) {
+  auto r = manager_.Subscribe(R"(
+subscription Bad
+monitoring
+select default
+where URL extends "http://site.org/"
+continuous Q
+select ~~~nonsense~~~
+when daily
+report when immediate
+)",
+                              "u@x");
+  EXPECT_FALSE(r.ok());
+  // The monitoring query's registrations must have been rolled back.
+  EXPECT_EQ(manager_.atomic_event_count(), 0u);
+  EXPECT_EQ(mqp_.matcher().size(), 0u);
+  EXPECT_EQ(trigger_engine_.trigger_count(), 0u);
+}
+
+TEST_F(ManagerTest, FindBindingMapsComplexEvents) {
+  ASSERT_TRUE(manager_.Subscribe(kSimpleSub, "u@x").ok());
+  const QueryBinding* binding = manager_.FindBinding(1);
+  ASSERT_NE(binding, nullptr);
+  EXPECT_EQ(binding->subscription, "Simple");
+  EXPECT_EQ(binding->query_name, "m1");
+  EXPECT_EQ(manager_.FindBinding(999), nullptr);
+}
+
+TEST_F(ManagerTest, VirtualRequiresExistingTarget) {
+  auto bad = manager_.Subscribe("subscription V\nvirtual Nope.Q\n", "v@x");
+  EXPECT_TRUE(bad.status().IsNotFound());
+  ASSERT_TRUE(manager_.Subscribe(kSimpleSub, "u@x").ok());
+  auto good = manager_.Subscribe("subscription V\nvirtual Simple.m1\n", "v@x");
+  EXPECT_TRUE(good.ok()) << good.status().ToString();
+}
+
+TEST_F(ManagerTest, RefreshHintsExposed) {
+  ASSERT_TRUE(manager_
+                  .Subscribe(R"(
+subscription R
+monitoring
+select default
+where URL extends "http://site.org/"
+refresh "http://site.org/hot.xml" daily
+report when immediate
+)",
+                             "u@x")
+                  .ok());
+  ASSERT_EQ(manager_.refresh_hints().size(), 1u);
+  EXPECT_EQ(manager_.refresh_hints().at("http://site.org/hot.xml"), kDay);
+}
+
+TEST_F(ManagerTest, ContinuousQueryWiredToTriggerEngine) {
+  ASSERT_TRUE(manager_
+                  .Subscribe(R"(
+subscription C
+continuous Counter
+select m from any/museum m
+when daily
+report when immediate
+)",
+                             "u@x")
+                  .ok());
+  EXPECT_EQ(trigger_engine_.trigger_count(), 1u);
+  clock_.Advance(kDay);
+  trigger_engine_.Tick(clock_.Now());
+  // Empty warehouse → empty result → still a notification (non-delta).
+  EXPECT_EQ(reporter_.reports_generated(), 1u);
+}
+
+
+TEST_F(ManagerTest, ModifySwapsDefinitionAtomically) {
+  ASSERT_TRUE(manager_.Subscribe(kSimpleSub, "u@x").ok());
+  ASSERT_EQ(mqp_.matcher().size(), 1u);
+
+  // Valid modification: same name, different conditions.
+  ASSERT_TRUE(manager_
+                  .Modify("Simple", R"(
+subscription Simple
+monitoring
+select default
+where URL extends "http://elsewhere.org/" and deleted Product
+report when immediate
+)")
+                  .ok());
+  EXPECT_EQ(manager_.subscription_count(), 1u);
+  EXPECT_EQ(mqp_.matcher().size(), 1u);
+  EXPECT_EQ(manager_.atomic_event_count(), 2u);
+
+  // Renaming through Modify is rejected.
+  EXPECT_TRUE(manager_.Modify("Simple", kOtherSub).IsInvalidArgument());
+  // Unknown subscription.
+  EXPECT_TRUE(manager_.Modify("Ghost", kSimpleSub).IsNotFound());
+  // Invalid replacement: the old definition survives.
+  EXPECT_FALSE(manager_
+                   .Modify("Simple", R"(
+subscription Simple
+monitoring
+select default
+where modified self
+report when immediate
+)")
+                   .ok());
+  EXPECT_EQ(manager_.subscription_count(), 1u);
+  EXPECT_EQ(mqp_.matcher().size(), 1u);
+}
+
+
+TEST_F(ManagerTest, AddRecipientDeliversToAll) {
+  ASSERT_TRUE(manager_.Subscribe(kSimpleSub, "first@x").ok());
+  ASSERT_TRUE(manager_.AddRecipient("Simple", "second@x").ok());
+  EXPECT_TRUE(manager_.AddRecipient("Simple", "second@x").IsAlreadyExists());
+  EXPECT_TRUE(manager_.AddRecipient("Ghost", "x@x").IsNotFound());
+
+  // Drive one notification through the reporter directly.
+  reporter_.AddNotification(
+      reporter::Notification{"Simple", "m1", "<n/>", 1});
+  ASSERT_EQ(outbox_.sent_count(), 2u);
+  std::set<std::string> to;
+  for (const auto& mail : outbox_.sent()) to.insert(mail.to);
+  EXPECT_EQ(to, (std::set<std::string>{"first@x", "second@x"}));
+}
+
+
+TEST_F(ManagerTest, SubscribeAsHonorsUserPrivileges) {
+  UserRegistry users;
+  ASSERT_TRUE(users.AddUser({"alice", "alice@x", /*privileged=*/false}).ok());
+  ASSERT_TRUE(users.AddUser({"root", "root@x", /*privileged=*/true}).ok());
+  EXPECT_TRUE(users.AddUser({"alice", "dup@x", false}).IsAlreadyExists());
+  EXPECT_TRUE(users.AddUser({"", "", false}).IsInvalidArgument());
+
+  sublang::ValidatorOptions opts;
+  opts.max_cost = 50;  // Hourly continuous queries cost far more.
+  SubscriptionManager manager(
+      SubscriptionManager::Components{&mqp_, &url_alerter_, &xml_alerter_,
+                                      &html_alerter_, &pipeline_,
+                                      &trigger_engine_, &reporter_,
+                                      &query_engine_, &clock_},
+      opts);
+  manager.set_user_registry(&users);
+
+  constexpr char kExpensive[] = R"(
+subscription Expensive
+continuous Q
+select m from any/museum m
+when hourly
+report when immediate
+)";
+  // Unknown user / unprivileged user / privileged user.
+  EXPECT_TRUE(manager.SubscribeAs("ghost", kExpensive).status().IsNotFound());
+  EXPECT_TRUE(manager.SubscribeAs("alice", kExpensive)
+                  .status()
+                  .IsResourceExhausted());
+  auto ok = manager.SubscribeAs("root", kExpensive);
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+  // Cheap subscriptions pass for everyone.
+  auto cheap = manager.SubscribeAs("alice", kSimpleSub);
+  EXPECT_TRUE(cheap.ok()) << cheap.status().ToString();
+}
+
+class ManagerPersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("xymon_mgr_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+using ManagerPersistenceTest2 = ManagerPersistenceTest;
+
+TEST_F(ManagerPersistenceTest, SubscriptionsSurviveRestart) {
+  std::string path = dir_ / "subs.log";
+
+  // "Process 1": subscribe and drop everything.
+  {
+    SimClock clock;
+    warehouse::Warehouse wh;
+    mqp::MonitoringQueryProcessor mqp;
+    alerters::UrlAlerter url;
+    alerters::XmlAlerter xml;
+    alerters::HtmlAlerter html;
+    alerters::AlertPipeline pipeline(&url, &xml, &html);
+    trigger::TriggerEngine te;
+    reporter::Outbox outbox;
+    query::QueryEngine qe(&wh);
+    reporter::Reporter rep(&outbox, &qe);
+    SubscriptionManager mgr(SubscriptionManager::Components{
+        &mqp, &url, &xml, &html, &pipeline, &te, &rep, &qe, &clock});
+    ASSERT_TRUE(mgr.AttachStorage(path).ok());
+    ASSERT_TRUE(mgr.Subscribe(kSimpleSub, "a@x").ok());
+    ASSERT_TRUE(mgr.Subscribe(kOtherSub, "b@x").ok());
+    ASSERT_TRUE(mgr.AddRecipient("Simple", "extra@x").ok());
+    ASSERT_TRUE(mgr.Unsubscribe("Other").ok());
+  }
+
+  // "Process 2": recover.
+  SimClock clock;
+  warehouse::Warehouse wh;
+  mqp::MonitoringQueryProcessor mqp;
+  alerters::UrlAlerter url;
+  alerters::XmlAlerter xml;
+  alerters::HtmlAlerter html;
+  alerters::AlertPipeline pipeline(&url, &xml, &html);
+  trigger::TriggerEngine te;
+  reporter::Outbox outbox;
+  query::QueryEngine qe(&wh);
+  reporter::Reporter rep(&outbox, &qe);
+  SubscriptionManager mgr(SubscriptionManager::Components{
+      &mqp, &url, &xml, &html, &pipeline, &te, &rep, &qe, &clock});
+  ASSERT_TRUE(mgr.AttachStorage(path).ok());
+  EXPECT_EQ(mgr.subscription_count(), 1u);
+  EXPECT_EQ(mqp.matcher().size(), 1u);
+  EXPECT_EQ(url.condition_count(), 1u);
+  // The recovered subscription is live: duplicates rejected.
+  EXPECT_TRUE(mgr.Subscribe(kSimpleSub, "a@x").status().IsAlreadyExists());
+  // Recipients added before the restart were recovered too.
+  EXPECT_TRUE(mgr.AddRecipient("Simple", "extra@x").IsAlreadyExists());
+}
+
+TEST_F(ManagerPersistenceTest, UsersSurviveRestart) {
+  std::string path = dir_ / "users.log";
+  {
+    UserRegistry users;
+    ASSERT_TRUE(users.AttachStorage(path).ok());
+    ASSERT_TRUE(users.AddUser({"bob", "bob@x", true}).ok());
+    ASSERT_TRUE(users.AddUser({"eve", "eve@x", false}).ok());
+    ASSERT_TRUE(users.SetPrivileged("eve", true).ok());
+    ASSERT_TRUE(users.AddUser({"gone", "g@x", false}).ok());
+    ASSERT_TRUE(users.RemoveUser("gone").ok());
+  }
+  UserRegistry users;
+  ASSERT_TRUE(users.AttachStorage(path).ok());
+  EXPECT_EQ(users.user_count(), 2u);
+  ASSERT_TRUE(users.Find("bob").has_value());
+  EXPECT_TRUE(users.Find("bob")->privileged);
+  EXPECT_TRUE(users.Find("eve")->privileged);
+  EXPECT_FALSE(users.Find("gone").has_value());
+}
+
+}  // namespace
+}  // namespace xymon::manager

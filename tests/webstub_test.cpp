@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "src/alerters/html_alerter.h"
+#include "src/webstub/crawler.h"
+#include "src/webstub/synthetic_web.h"
+#include "src/xml/parser.h"
+
+namespace xymon::webstub {
+namespace {
+
+TEST(SyntheticWebTest, PagesAreDeterministic) {
+  SyntheticWeb a(42), b(42);
+  a.AddCatalogPage("http://s/c.xml", "http://s/c.dtd", 10);
+  b.AddCatalogPage("http://s/c.xml", "http://s/c.dtd", 10);
+  EXPECT_EQ(a.Fetch("http://s/c.xml"), b.Fetch("http://s/c.xml"));
+  a.Step();
+  b.Step();
+  EXPECT_EQ(a.Fetch("http://s/c.xml"), b.Fetch("http://s/c.xml"));
+}
+
+TEST(SyntheticWebTest, UnknownUrlIs404) {
+  SyntheticWeb web(1);
+  EXPECT_EQ(web.Fetch("http://nope/"), std::nullopt);
+}
+
+TEST(SyntheticWebTest, GeneratedXmlPagesParse) {
+  SyntheticWeb web(7);
+  web.AddCatalogPage("http://s/c.xml", "http://s/c.dtd", 8);
+  web.AddMembersPage("http://s/m.xml", 4);
+  web.AddNewsPage("http://s/n.xml", {"xyleme"});
+  for (int step = 0; step < 5; ++step) {
+    for (const char* url : {"http://s/c.xml", "http://s/m.xml",
+                            "http://s/n.xml"}) {
+      auto body = web.Fetch(url);
+      ASSERT_TRUE(body.has_value());
+      auto doc = xml::Parse(*body);
+      EXPECT_TRUE(doc.ok()) << url << ": " << doc.status().ToString();
+    }
+    web.Step();
+  }
+}
+
+TEST(SyntheticWebTest, CatalogEvolvesByWindowAndReprice) {
+  SyntheticWeb web(3);
+  web.AddCatalogPage("http://s/c.xml", "http://s/c.dtd", 5,
+                     /*change_rate=*/1.0);
+  auto v0 = xml::Parse(*web.Fetch("http://s/c.xml"));
+  web.Step();
+  auto v1 = xml::Parse(*web.Fetch("http://s/c.xml"));
+  ASSERT_TRUE(v0.ok() && v1.ok());
+  // Same number of products, shifted window: first id changes.
+  auto p0 = v0->root->FindChildren("Product");
+  auto p1 = v1->root->FindChildren("Product");
+  ASSERT_EQ(p0.size(), 5u);
+  ASSERT_EQ(p1.size(), 5u);
+  EXPECT_NE(*p0.front()->GetAttribute("id"), *p1.front()->GetAttribute("id"));
+  // Overlap: v1's first product was v0's second.
+  EXPECT_EQ(*p0[1]->GetAttribute("id"), *p1[0]->GetAttribute("id"));
+}
+
+TEST(SyntheticWebTest, MembersPageOnlyGrows) {
+  SyntheticWeb web(5);
+  web.AddMembersPage("http://s/m.xml", 3, /*change_rate=*/1.0);
+  size_t last = 0;
+  for (int step = 0; step < 4; ++step) {
+    auto doc = xml::Parse(*web.Fetch("http://s/m.xml"));
+    ASSERT_TRUE(doc.ok());
+    size_t members = doc->root->FindChildren("Member").size();
+    EXPECT_GE(members, last);
+    last = members;
+    web.Step();
+  }
+  EXPECT_EQ(last, 6u);  // 3 initial + 3 steps at rate 1.0.
+}
+
+TEST(SyntheticWebTest, ZeroChangeRateIsStatic) {
+  SyntheticWeb web(9);
+  web.AddHtmlPage("http://s/p.html", {}, /*change_rate=*/0.0);
+  auto before = web.Fetch("http://s/p.html");
+  for (int i = 0; i < 10; ++i) web.Step();
+  EXPECT_EQ(web.Fetch("http://s/p.html"), before);
+}
+
+TEST(SyntheticWebTest, RemovePage404s) {
+  SyntheticWeb web(2);
+  web.AddHtmlPage("http://s/x.html");
+  ASSERT_TRUE(web.Fetch("http://s/x.html").has_value());
+  web.RemovePage("http://s/x.html");
+  EXPECT_EQ(web.Fetch("http://s/x.html"), std::nullopt);
+}
+
+// ---------------------------------------------------------------- Crawler --
+
+TEST(CrawlerTest, DiscoverAndFetchAllOnce) {
+  SyntheticWeb web(4);
+  for (int i = 0; i < 5; ++i) {
+    web.AddHtmlPage("http://s/p" + std::to_string(i) + ".html");
+  }
+  Crawler crawler(&web, kDay);
+  crawler.DiscoverAll(0);
+  EXPECT_EQ(crawler.known_urls(), 5u);
+  auto docs = crawler.FetchAllDue(0);
+  EXPECT_EQ(docs.size(), 5u);
+  // Nothing due again until the period elapses.
+  EXPECT_TRUE(crawler.FetchAllDue(kDay - 1).empty());
+  EXPECT_EQ(crawler.FetchAllDue(kDay).size(), 5u);
+  EXPECT_EQ(crawler.fetch_count(), 10u);
+}
+
+TEST(CrawlerTest, RefreshHintsShortenThePeriod) {
+  SyntheticWeb web(4);
+  web.AddHtmlPage("http://s/hot.html");
+  web.AddHtmlPage("http://s/cold.html");
+  Crawler crawler(&web, kDay);
+  crawler.SetRefreshHint("http://s/hot.html", kHour);
+  crawler.DiscoverAll(0);
+  (void)crawler.FetchAllDue(0);
+  // One hour later only the hot page is due.
+  auto due = crawler.FetchAllDue(kHour);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].url, "http://s/hot.html");
+}
+
+TEST(CrawlerTest, HintsNeverLengthenThePeriod) {
+  SyntheticWeb web(4);
+  web.AddHtmlPage("http://s/p.html");
+  Crawler crawler(&web, kHour);
+  crawler.SetRefreshHint("http://s/p.html", kWeek);  // Slower than default.
+  crawler.DiscoverAll(0);
+  (void)crawler.FetchAllDue(0);
+  EXPECT_EQ(crawler.FetchAllDue(kHour).size(), 1u);
+}
+
+TEST(CrawlerTest, MostOverdueFirst) {
+  SyntheticWeb web(4);
+  web.AddHtmlPage("http://s/a.html");
+  web.AddHtmlPage("http://s/b.html");
+  Crawler crawler(&web, kDay);
+  crawler.SetRefreshHint("http://s/b.html", kHour);
+  crawler.DiscoverAll(0);
+  (void)crawler.FetchAllDue(0);
+  // At t=kDay, b has been due since kHour (most overdue), a since kDay.
+  auto doc = crawler.FetchNext(kDay);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->url, "http://s/b.html");
+}
+
+TEST(CrawlerTest, LinkDiscoveryFollowsHubPages) {
+  SyntheticWeb web(6);
+  web.AddHubPage("http://portal.example.org/",
+                 {"http://siteA.example.org/c.xml",
+                  "http://siteB.example.org/news.xml",
+                  "mailto:not-a-page", "/relative/skipped"});
+  web.AddCatalogPage("http://siteA.example.org/c.xml",
+                     "http://siteA.example.org/c.dtd", 3);
+  web.AddNewsPage("http://siteB.example.org/news.xml");
+
+  Crawler crawler(&web, kDay);
+  // Seed only with the portal — the rest is discovered by following links.
+  crawler.DiscoverFromPage(
+      FetchedDoc{"seed", "<a href=\"http://portal.example.org/\">p</a>", 0},
+      0);
+  EXPECT_EQ(crawler.known_urls(), 1u);
+
+  size_t discovered = 0;
+  std::vector<std::string> fetched;
+  while (auto doc = crawler.FetchNext(0)) {
+    fetched.push_back(doc->url);
+    discovered += crawler.DiscoverFromPage(*doc, 0);
+  }
+  EXPECT_EQ(discovered, 2u);  // Two absolute http links; junk ignored.
+  ASSERT_EQ(fetched.size(), 3u);
+  EXPECT_EQ(fetched[0], "http://portal.example.org/");
+}
+
+TEST(HtmlLinkTest, ExtractLinksFindsAbsoluteAnchors) {
+  auto links = xymon::alerters::HtmlAlerter::ExtractLinks(
+      "<a href=\"http://a.org/x\">x</a> "
+      "<A HREF='https://b.org/'>y</A> "
+      "<a href=\"/relative\">no</a> <a href=unquoted>no</a>");
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0], "http://a.org/x");
+  EXPECT_EQ(links[1], "https://b.org/");
+}
+
+TEST(CrawlerTest, VanishedPagesAreForgotten) {
+  SyntheticWeb web(4);
+  web.AddHtmlPage("http://s/gone.html");
+  Crawler crawler(&web, kDay);
+  crawler.DiscoverAll(0);
+  web.RemovePage("http://s/gone.html");
+  EXPECT_EQ(crawler.FetchNext(0), std::nullopt);
+  EXPECT_EQ(crawler.known_urls(), 0u);
+}
+
+TEST(CrawlerTest, LateDiscoveryAddsNewUrlsOnly) {
+  SyntheticWeb web(4);
+  web.AddHtmlPage("http://s/old.html");
+  Crawler crawler(&web, kDay);
+  crawler.DiscoverAll(0);
+  (void)crawler.FetchAllDue(0);
+  web.AddHtmlPage("http://s/new.html");
+  crawler.DiscoverAll(kHour);
+  // Only the newly discovered page is due (the old one keeps its schedule).
+  auto due = crawler.FetchAllDue(kHour);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].url, "http://s/new.html");
+}
+
+}  // namespace
+}  // namespace xymon::webstub

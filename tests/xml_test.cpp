@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/xml/codec.h"
+#include "src/xml/dom.h"
+#include "src/xml/parser.h"
+#include "src/xml/serializer.h"
+
+namespace xymon::xml {
+namespace {
+
+Document MustParse(std::string_view text) {
+  auto doc = Parse(text);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString() << " for: " << text;
+  return std::move(doc).value();
+}
+
+// ---------------------------------------------------------------- Parser --
+
+TEST(XmlParserTest, MinimalElement) {
+  Document doc = MustParse("<a/>");
+  ASSERT_NE(doc.root, nullptr);
+  EXPECT_EQ(doc.root->name(), "a");
+  EXPECT_TRUE(doc.root->children().empty());
+}
+
+TEST(XmlParserTest, NestedElementsAndText) {
+  Document doc = MustParse("<a><b>hello</b><c/></a>");
+  ASSERT_EQ(doc.root->child_count(), 2u);
+  EXPECT_EQ(doc.root->child(0)->name(), "b");
+  EXPECT_EQ(doc.root->child(0)->TextContent(), "hello");
+  EXPECT_EQ(doc.root->child(1)->name(), "c");
+}
+
+TEST(XmlParserTest, Attributes) {
+  Document doc = MustParse(R"(<a x="1" y='two' z="a&amp;b"/>)");
+  EXPECT_EQ(*doc.root->GetAttribute("x"), "1");
+  EXPECT_EQ(*doc.root->GetAttribute("y"), "two");
+  EXPECT_EQ(*doc.root->GetAttribute("z"), "a&b");
+  EXPECT_EQ(doc.root->GetAttribute("w"), nullptr);
+}
+
+TEST(XmlParserTest, DuplicateAttributeRejected) {
+  EXPECT_TRUE(Parse(R"(<a x="1" x="2"/>)").status().IsParseError());
+}
+
+TEST(XmlParserTest, PredefinedEntities) {
+  Document doc = MustParse("<a>&lt;&gt;&amp;&apos;&quot;</a>");
+  EXPECT_EQ(doc.root->TextContent(), "<>&'\"");
+}
+
+TEST(XmlParserTest, NumericCharacterReferences) {
+  Document doc = MustParse("<a>&#65;&#x42;&#233;</a>");
+  EXPECT_EQ(doc.root->TextContent(), "AB\xC3\xA9");  // "ABé" in UTF-8
+}
+
+TEST(XmlParserTest, BadCharacterReference) {
+  EXPECT_TRUE(Parse("<a>&#xZZ;</a>").status().IsParseError());
+  EXPECT_TRUE(Parse("<a>&#;</a>").status().IsParseError());
+  EXPECT_TRUE(Parse("<a>&#1114112;</a>").status().IsParseError());
+}
+
+TEST(XmlParserTest, UnknownEntityRejected) {
+  EXPECT_TRUE(Parse("<a>&unknown;</a>").status().IsParseError());
+}
+
+TEST(XmlParserTest, CdataSection) {
+  Document doc = MustParse("<a><![CDATA[<not> & parsed]]></a>");
+  EXPECT_EQ(doc.root->TextContent(), "<not> & parsed");
+}
+
+TEST(XmlParserTest, CommentsIgnored) {
+  Document doc = MustParse("<!-- head --><a>x<!-- mid -->y</a>");
+  EXPECT_EQ(doc.root->TextContent(), "xy");
+}
+
+TEST(XmlParserTest, XmlDeclAndPi) {
+  Document doc = MustParse("<?xml version=\"1.0\"?><?other pi?><a/>");
+  EXPECT_EQ(doc.root->name(), "a");
+}
+
+TEST(XmlParserTest, DoctypeWithSystemId) {
+  Document doc = MustParse(
+      "<!DOCTYPE catalog SYSTEM \"http://ex.com/cat.dtd\"><catalog/>");
+  EXPECT_EQ(doc.doctype_name, "catalog");
+  EXPECT_EQ(doc.dtd_url, "http://ex.com/cat.dtd");
+}
+
+TEST(XmlParserTest, DoctypeWithPublicId) {
+  Document doc = MustParse(
+      "<!DOCTYPE html PUBLIC \"-//W3C//DTD\" \"http://w3.org/html.dtd\">"
+      "<html/>");
+  EXPECT_EQ(doc.doctype_name, "html");
+  EXPECT_EQ(doc.dtd_url, "http://w3.org/html.dtd");
+}
+
+TEST(XmlParserTest, DoctypeInternalSubsetSkipped) {
+  Document doc =
+      MustParse("<!DOCTYPE a [ <!ELEMENT a (#PCDATA)> ]><a>t</a>");
+  EXPECT_EQ(doc.doctype_name, "a");
+  EXPECT_EQ(doc.root->TextContent(), "t");
+}
+
+TEST(XmlParserTest, MismatchedTagsRejected) {
+  auto st = Parse("<a><b></a></b>").status();
+  EXPECT_TRUE(st.IsParseError());
+  EXPECT_NE(st.message().find("mismatched"), std::string::npos);
+}
+
+TEST(XmlParserTest, TruncatedInputRejected) {
+  EXPECT_TRUE(Parse("<a><b>").status().IsParseError());
+  EXPECT_TRUE(Parse("<a attr=\"x").status().IsParseError());
+  EXPECT_TRUE(Parse("").status().IsParseError());
+}
+
+TEST(XmlParserTest, TrailingContentRejected) {
+  EXPECT_TRUE(Parse("<a/><b/>").status().IsParseError());
+  EXPECT_TRUE(Parse("<a/>junk").status().IsParseError());
+}
+
+TEST(XmlParserTest, ErrorPositionsAreReported) {
+  auto st = Parse("<a>\n<b x=></b></a>").status();
+  ASSERT_TRUE(st.IsParseError());
+  EXPECT_NE(st.message().find("2:"), std::string::npos) << st.ToString();
+}
+
+TEST(XmlParserTest, DeepNesting) {
+  std::string text;
+  constexpr int kDepth = 200;
+  for (int i = 0; i < kDepth; ++i) text += "<d>";
+  text += "x";
+  for (int i = 0; i < kDepth; ++i) text += "</d>";
+  Document doc = MustParse(text);
+  EXPECT_EQ(doc.root->TextContent(), "x");
+}
+
+// ------------------------------------------------------------------- DOM --
+
+TEST(DomTest, AddAndFindChildren) {
+  auto root = Node::Element("root");
+  root->AddElement("a", "1");
+  root->AddElement("b", "2");
+  root->AddElement("a", "3");
+  EXPECT_EQ(root->FindChild("b")->TextContent(), "2");
+  EXPECT_EQ(root->FindChildren("a").size(), 2u);
+  EXPECT_EQ(root->FindChild("zzz"), nullptr);
+}
+
+TEST(DomTest, FindDescendantsIncludesSelf) {
+  Document doc = MustParse("<a><a><b><a/></b></a></a>");
+  EXPECT_EQ(doc.root->FindDescendants("a").size(), 3u);
+}
+
+TEST(DomTest, InsertAndRemoveChild) {
+  auto root = Node::Element("r");
+  root->AddElement("a");
+  root->AddElement("c");
+  root->InsertChild(1, Node::Element("b"));
+  ASSERT_EQ(root->child_count(), 3u);
+  EXPECT_EQ(root->child(1)->name(), "b");
+  auto removed = root->RemoveChild(0);
+  EXPECT_EQ(removed->name(), "a");
+  EXPECT_EQ(removed->parent(), nullptr);
+  EXPECT_EQ(root->child(0)->name(), "b");
+}
+
+TEST(DomTest, ParentLinksMaintained) {
+  auto root = Node::Element("r");
+  Node* child = root->AddElement("c");
+  EXPECT_EQ(child->parent(), root.get());
+  EXPECT_EQ(root->IndexOfChild(child), 0u);
+  EXPECT_EQ(child->Depth(), 1);
+}
+
+TEST(DomTest, PostorderVisitsChildrenFirst) {
+  Document doc = MustParse("<a><b><c/></b><d/></a>");
+  std::vector<std::string> order;
+  doc.root->VisitPostorder([&](const Node& n) {
+    if (n.is_element()) order.push_back(n.name());
+  });
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order, (std::vector<std::string>{"c", "b", "d", "a"}));
+}
+
+TEST(DomTest, CloneIsDeepAndEqual) {
+  Document doc = MustParse(R"(<a x="1"><b>t</b></a>)");
+  doc.root->set_xid(77);
+  auto clone = doc.root->Clone();
+  EXPECT_TRUE(doc.root->EqualsIgnoringXids(*clone));
+  EXPECT_EQ(clone->xid(), 77u);
+  // Mutating the clone must not touch the original (deep copy).
+  clone->FindChild("b")->child(0)->set_text("changed");
+  EXPECT_FALSE(doc.root->EqualsIgnoringXids(*clone));
+  EXPECT_EQ(doc.root->FindChild("b")->TextContent(), "t");
+}
+
+TEST(DomTest, EqualsDetectsDifferences) {
+  Document a = MustParse("<a><b>x</b></a>");
+  Document b = MustParse("<a><b>y</b></a>");
+  Document c = MustParse("<a><b>x</b><c/></a>");
+  EXPECT_FALSE(a.root->EqualsIgnoringXids(*b.root));
+  EXPECT_FALSE(a.root->EqualsIgnoringXids(*c.root));
+  EXPECT_TRUE(a.root->EqualsIgnoringXids(*MustParse("<a><b>x</b></a>").root));
+}
+
+TEST(DomTest, SubtreeHashSensitiveToContent) {
+  Document a = MustParse("<a><b>x</b></a>");
+  Document b = MustParse("<a><b>y</b></a>");
+  Document c = MustParse(R"(<a q="1"><b>x</b></a>)");
+  EXPECT_NE(a.root->SubtreeHash(), b.root->SubtreeHash());
+  EXPECT_NE(a.root->SubtreeHash(), c.root->SubtreeHash());
+  EXPECT_EQ(a.root->SubtreeHash(), MustParse("<a><b>x</b></a>").root->SubtreeHash());
+}
+
+TEST(DomTest, TextContentConcatenatesDescendants) {
+  Document doc = MustParse("<a>one<b> two</b> three</a>");
+  EXPECT_EQ(doc.root->TextContent(), "one two three");
+}
+
+// ------------------------------------------------------------ Serializer --
+
+TEST(SerializerTest, EscapesSpecialCharacters) {
+  auto node = Node::Element("a");
+  node->AddChild(Node::Text("x<y & z>"));
+  node->SetAttribute("q", "a\"b<c");
+  std::string out = Serialize(*node);
+  EXPECT_EQ(out, "<a q=\"a&quot;b&lt;c\">x&lt;y &amp; z&gt;</a>");
+}
+
+TEST(SerializerTest, SelfClosesEmptyElements) {
+  EXPECT_EQ(Serialize(*Node::Element("empty")), "<empty/>");
+}
+
+TEST(SerializerTest, PrologIncludesDoctype) {
+  Document doc = MustParse(
+      "<!DOCTYPE c SYSTEM \"http://e/c.dtd\"><c/>");
+  std::string out = Serialize(doc, {.indent = false, .prolog = true});
+  EXPECT_NE(out.find("<?xml"), std::string::npos);
+  EXPECT_NE(out.find("<!DOCTYPE c SYSTEM \"http://e/c.dtd\">"),
+            std::string::npos);
+}
+
+TEST(SerializerTest, IndentedOutputParsesBack) {
+  Document doc = MustParse("<a><b><c>x</c></b><d/></a>");
+  std::string pretty = Serialize(*doc.root, {.indent = true});
+  Document again = MustParse(pretty);
+  EXPECT_TRUE(doc.root->EqualsIgnoringXids(*again.root));
+}
+
+std::unique_ptr<Node> RandomTree(Rng* rng, int depth);
+
+// ----------------------------------------------------------------- Codec --
+
+TEST(CodecTest, VarintRoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{127}, uint64_t{128},
+                     uint64_t{300}, uint64_t{1} << 20, uint64_t{1} << 40,
+                     UINT64_MAX}) {
+    std::string buf;
+    PutVarint(v, &buf);
+    std::string_view view(buf);
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint(&view, &decoded));
+    EXPECT_EQ(decoded, v);
+    EXPECT_TRUE(view.empty());
+  }
+}
+
+TEST(CodecTest, StringRoundTripIncludingBinary) {
+  std::string binary("\x00\xff<>&\n", 6);
+  std::string buf;
+  PutString(binary, &buf);
+  std::string_view view(buf);
+  std::string decoded;
+  ASSERT_TRUE(GetString(&view, &decoded));
+  EXPECT_EQ(decoded, binary);
+}
+
+TEST(CodecTest, DocumentRoundTripPreservesXids) {
+  Document doc = MustParse(
+      "<!DOCTYPE c SYSTEM \"http://e/c.dtd\">"
+      "<c a=\"1\"><p>text &amp; more</p><q/></c>");
+  doc.root->set_xid(42);
+  doc.root->child(0)->set_xid(43);
+
+  std::string encoded = EncodeDocument(doc);
+  auto decoded = DecodeDocument(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->doctype_name, "c");
+  EXPECT_EQ(decoded->dtd_url, "http://e/c.dtd");
+  EXPECT_TRUE(decoded->root->EqualsIgnoringXids(*doc.root));
+  EXPECT_EQ(decoded->root->xid(), 42u);
+  EXPECT_EQ(decoded->root->child(0)->xid(), 43u);
+}
+
+TEST(CodecTest, CorruptInputRejected) {
+  Document doc = MustParse("<a><b>t</b></a>");
+  std::string encoded = EncodeDocument(doc);
+  EXPECT_TRUE(DecodeDocument("").status().IsCorruption());
+  EXPECT_TRUE(DecodeDocument("WRONGMAGIC").status().IsCorruption());
+  // Truncations at every length must fail cleanly, never crash.
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    auto result = DecodeDocument(encoded.substr(0, len));
+    EXPECT_FALSE(result.ok()) << "accepted truncation at " << len;
+  }
+  // Byte flips must not crash (may decode to a different valid doc).
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated = encoded;
+    mutated[rng.Uniform(mutated.size())] = static_cast<char>(rng.Next());
+    (void)DecodeDocument(mutated);
+  }
+}
+
+class CodecRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecRoundTripTest, RandomDocumentsRoundTrip) {
+  Rng rng(GetParam() * 31 + 5);
+  auto tree = RandomTree(&rng, 4);
+  Document doc;
+  doc.root = tree->Clone();
+  std::string encoded = EncodeDocument(doc);
+  auto decoded = DecodeDocument(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->root->EqualsIgnoringXids(*doc.root));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTripTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+// Round-trip property: parse(serialize(t)) == t over random documents.
+class XmlRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::unique_ptr<Node> RandomTree(Rng* rng, int depth) {
+  auto node = Node::Element("el" + std::to_string(rng->Uniform(5)));
+  if (rng->Bernoulli(0.5)) {
+    node->SetAttribute("a" + std::to_string(rng->Uniform(3)),
+                       "v<&\"'" + std::to_string(rng->Uniform(100)));
+  }
+  size_t children = rng->Uniform(depth > 0 ? 4 : 1);
+  bool last_was_text = false;
+  for (size_t i = 0; i < children; ++i) {
+    // Adjacent text nodes merge on reparse, so never generate two in a row.
+    if (!last_was_text && rng->Bernoulli(0.4)) {
+      node->AddChild(Node::Text("text&<>" + std::to_string(rng->Uniform(50))));
+      last_was_text = true;
+    } else {
+      node->AddChild(RandomTree(rng, depth - 1));
+      last_was_text = false;
+    }
+  }
+  return node;
+}
+
+TEST_P(XmlRoundTripTest, ParseSerializeFixpoint) {
+  Rng rng(GetParam());
+  auto tree = RandomTree(&rng, 4);
+  std::string text = Serialize(*tree);
+  auto parsed = ParseFragment(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(tree->EqualsIgnoringXids(**parsed)) << text;
+  // Second round trip is the identity.
+  EXPECT_EQ(Serialize(**parsed), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace xymon::xml
