@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xymon_webstub.
+# This may be replaced when dependencies are built.
