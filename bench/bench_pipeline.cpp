@@ -76,7 +76,7 @@ int main() {
       (void)monitor.Subscribe(MakeSubscription(i, &rng), "u@x");
     }
     // Warm pass (everything "new"), then timed update passes.
-    for (const auto& url : urls) monitor.ProcessFetch(url, *web.Fetch(url));
+    for (const auto& url : urls) monitor.ProcessFetch(url, web.Fetch(url)->body);
     double micros = 0;
     size_t docs = 0;
     for (int round = 0; round < 3; ++round) {
@@ -84,7 +84,7 @@ int main() {
       clock.Advance(xymon::kDay);
       micros += TimeMicros([&] {
         for (const auto& url : urls) {
-          monitor.ProcessFetch(url, *web.Fetch(url));
+          monitor.ProcessFetch(url, web.Fetch(url)->body);
         }
       });
       docs += urls.size();

@@ -239,5 +239,4 @@ examples/CMakeFiles/site_monitor.dir/site_monitor.cpp.o: \
  /root/repo/src/reporter/outbox.h /root/repo/src/reporter/web_portal.h \
  /root/repo/src/sublang/ast.h /root/repo/src/sublang/validator.h \
  /root/repo/src/trigger/trigger_engine.h /root/repo/src/webstub/crawler.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/webstub/synthetic_web.h /root/repo/src/common/rng.h

@@ -238,7 +238,6 @@ src/system/CMakeFiles/xymon_system.dir/monitor.cc.o: \
  /root/repo/src/reporter/outbox.h /root/repo/src/reporter/web_portal.h \
  /root/repo/src/sublang/ast.h /root/repo/src/sublang/validator.h \
  /root/repo/src/trigger/trigger_engine.h /root/repo/src/webstub/crawler.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/webstub/synthetic_web.h /root/repo/src/common/rng.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \

@@ -301,6 +301,7 @@ tests/CMakeFiles/failure_test.dir/failure_test.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/common/rng.h \
+ /root/repo/src/reporter/outbox.h /root/repo/src/common/clock.h \
  /root/repo/src/storage/persistent_map.h /root/repo/src/common/result.h \
  /root/repo/src/common/status.h /root/repo/src/storage/log_store.h \
  /root/repo/src/system/monitor.h /root/repo/src/alerters/pipeline.h \
@@ -308,9 +309,8 @@ tests/CMakeFiles/failure_test.dir/failure_test.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/alerters/html_alerter.h \
  /root/repo/src/alerters/condition.h /root/repo/src/warehouse/metadata.h \
- /root/repo/src/common/clock.h /root/repo/src/xmldiff/delta.h \
- /root/repo/src/xml/dom.h /root/repo/src/mqp/event.h \
- /root/repo/src/alerters/url_alerter.h \
+ /root/repo/src/xmldiff/delta.h /root/repo/src/xml/dom.h \
+ /root/repo/src/mqp/event.h /root/repo/src/alerters/url_alerter.h \
  /root/repo/src/alerters/prefix_matcher.h \
  /root/repo/src/alerters/xml_alerter.h \
  /root/repo/src/warehouse/warehouse.h \
@@ -324,8 +324,7 @@ tests/CMakeFiles/failure_test.dir/failure_test.cpp.o: \
  /root/repo/src/manager/user_registry.h \
  /root/repo/src/query/delta_tracker.h /root/repo/src/query/engine.h \
  /root/repo/src/query/query.h /root/repo/src/reporter/reporter.h \
- /root/repo/src/reporter/outbox.h /root/repo/src/reporter/web_portal.h \
- /root/repo/src/sublang/ast.h /root/repo/src/sublang/validator.h \
+ /root/repo/src/reporter/web_portal.h /root/repo/src/sublang/ast.h \
+ /root/repo/src/sublang/validator.h \
  /root/repo/src/trigger/trigger_engine.h /root/repo/src/webstub/crawler.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/webstub/synthetic_web.h /root/repo/src/xml/parser.h

@@ -298,9 +298,7 @@ tests/CMakeFiles/webstub_test.dir/webstub_test.cpp.o: \
  /root/repo/src/common/clock.h /root/repo/src/xmldiff/delta.h \
  /root/repo/src/xml/dom.h /root/repo/src/common/status.h \
  /root/repo/src/mqp/event.h /root/repo/src/webstub/crawler.h \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
- /root/repo/src/webstub/synthetic_web.h /root/repo/src/common/rng.h \
- /root/repo/src/xml/parser.h /root/repo/src/common/result.h
+ /root/repo/src/webstub/synthetic_web.h /root/repo/src/common/result.h \
+ /root/repo/src/common/rng.h /root/repo/src/xml/parser.h

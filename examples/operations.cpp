@@ -72,7 +72,7 @@ int main() {
   }
   for (int day = 0; day < 6; ++day) {
     for (const auto& url : web.Urls()) {
-      monitor.ProcessFetch(url, *web.Fetch(url));
+      monitor.ProcessFetch(url, web.Fetch(url)->body);
     }
     web.Step();
     clock.Advance(xymon::kDay);

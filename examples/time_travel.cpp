@@ -55,7 +55,7 @@ int main() {
                      /*product_count=*/5, /*change_rate=*/1.0);
 
   for (int day = 0; day < 10; ++day) {
-    monitor.ProcessFetch(kCatalogUrl, *web.Fetch(kCatalogUrl));
+    monitor.ProcessFetch(kCatalogUrl, web.Fetch(kCatalogUrl)->body);
     monitor.Tick();
     web.Step();
     clock.Advance(xymon::kDay);

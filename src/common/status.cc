@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

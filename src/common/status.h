@@ -21,6 +21,7 @@ enum class StatusCode {
   kResourceExhausted,
   kUnimplemented,
   kParseError,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name ("Ok", "ParseError", ...).
@@ -65,6 +66,11 @@ class Status {
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
+  /// Transient failure of an external service (the 5xx class of the web
+  /// acquisition layer); the caller may retry.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -85,6 +91,7 @@ class Status {
   }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "Ok" or "<CodeName>: <message>".
   std::string ToString() const;

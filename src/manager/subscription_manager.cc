@@ -32,8 +32,9 @@ bool IsUrlAlerterCondition(ConditionKind kind) {
 
 }  // namespace
 
-Status SubscriptionManager::AttachStorage(const std::string& path) {
-  auto store = storage::PersistentMap::Open(path);
+Status SubscriptionManager::AttachStorage(
+    const std::string& path, const storage::LogStore::Options& log_options) {
+  auto store = storage::PersistentMap::Open(path, log_options);
   if (!store.ok()) return store.status();
   store_ = std::move(store).value();
 

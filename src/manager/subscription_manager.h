@@ -69,8 +69,10 @@ class SubscriptionManager {
         validator_options_(std::move(validator_options)) {}
 
   /// Opens (or creates) the durability log at `path` and recovers every
-  /// stored subscription into the live structures.
-  Status AttachStorage(const std::string& path);
+  /// stored subscription into the live structures. `log_options` tunes
+  /// durability (fsync_every_n = 1 makes every Subscribe crash-proof).
+  Status AttachStorage(const std::string& path,
+                       const storage::LogStore::Options& log_options = {});
 
   /// Parses, validates and activates a subscription; returns its name.
   Result<std::string> Subscribe(const std::string& text,

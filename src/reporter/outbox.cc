@@ -22,23 +22,47 @@ void Outbox::Deliver(Email email) {
   ++window_sent_;
 }
 
-void Outbox::Send(Email email) {
-  if (CapacityAvailable(email.time)) {
-    Deliver(std::move(email));
-  } else {
-    queue_.push_back(std::move(email));
+void Outbox::AttemptDelivery(Email email) {
+  if (send_hook_) {
+    ++email.attempts;
+    if (!send_hook_(email)) {
+      ++send_failures_;
+      if (email.attempts >= options_.max_send_attempts) {
+        // The daemon rejected it max_send_attempts times: give up, but
+        // visibly — silent drops hide delivery incidents from operators.
+        ++dropped_after_retries_;
+      } else {
+        queue_.push_back(std::move(email));
+      }
+      return;
+    }
   }
+  Deliver(std::move(email));
+}
+
+void Outbox::Send(Email email) {
+  if (!CapacityAvailable(email.time)) {
+    queue_.push_back(std::move(email));
+    return;
+  }
+  AttemptDelivery(std::move(email));
 }
 
 void Outbox::Drain(Timestamp now) {
+  // Swap the backlog out first: e-mails that fail the hook during this
+  // drain re-enter queue_ and must wait for the *next* Drain, and capacity
+  // leftovers are re-queued untouched.
+  std::vector<Email> pending;
+  pending.swap(queue_);
   size_t i = 0;
-  while (i < queue_.size() && CapacityAvailable(now)) {
-    Email email = std::move(queue_[i]);
+  for (; i < pending.size() && CapacityAvailable(now); ++i) {
+    Email email = std::move(pending[i]);
     email.time = now;
-    Deliver(std::move(email));
-    ++i;
+    AttemptDelivery(std::move(email));
   }
-  queue_.erase(queue_.begin(), queue_.begin() + i);
+  for (; i < pending.size(); ++i) {
+    queue_.push_back(std::move(pending[i]));
+  }
 }
 
 }  // namespace xymon::reporter

@@ -2,6 +2,7 @@
 #define XYMON_REPORTER_OUTBOX_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,8 @@ struct Email {
   std::string subject;
   std::string body;
   Timestamp time = 0;
+  /// Delivery attempts made so far (maintained by the Outbox retry loop).
+  uint32_t attempts = 0;
 };
 
 /// The UNIX sendmail substitute. The paper's Reporter "supports hundreds of
@@ -22,6 +25,11 @@ struct Email {
 /// UNIX send-mail daemon implementation" — we simulate that boundary with a
 /// configurable per-day capacity so bench_reporter can reproduce the load
 /// behaviour (excess mail is queued, counted and drained over time).
+///
+/// Real sendmail also *fails*: an injectable send hook lets tests and the
+/// fault soak simulate delivery errors. A failed e-mail is re-queued and
+/// retried on later Drain calls, up to Options::max_send_attempts, after
+/// which it is dropped and counted in dropped_after_retries().
 class Outbox {
  public:
   struct Options {
@@ -29,20 +37,33 @@ class Outbox {
     uint64_t daily_capacity = 0;
     /// Retain message bodies (tests/examples) or count only (benches).
     bool keep_bodies = true;
+    /// Delivery attempts per e-mail before it is dropped (applies when a
+    /// send hook is installed and failing).
+    uint32_t max_send_attempts = 3;
   };
+
+  /// Returns true when the e-mail was delivered, false on a send failure.
+  using SendHook = std::function<bool(const Email&)>;
 
   Outbox() : Outbox(Options{}) {}
   explicit Outbox(const Options& options) : options_(options) {}
+
+  /// Installs the delivery hook (nullptr = always succeeds).
+  void set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
 
   /// Queues or sends one e-mail at time `email.time`.
   void Send(Email email);
 
   /// Drains the backlog within the daily capacity. Call once per simulated
-  /// tick with the current time.
+  /// tick with the current time. E-mails failing the send hook during this
+  /// drain are re-queued for the next one (the daemon stays broken for the
+  /// rest of the tick).
   void Drain(Timestamp now);
 
   uint64_t sent_count() const { return sent_count_; }
   uint64_t queued_count() const { return queue_.size(); }
+  uint64_t send_failures() const { return send_failures_; }
+  uint64_t dropped_after_retries() const { return dropped_after_retries_; }
 
   /// Sent messages (empty bodies if keep_bodies is false).
   const std::vector<Email>& sent() const { return sent_; }
@@ -52,11 +73,16 @@ class Outbox {
  private:
   bool CapacityAvailable(Timestamp now);
   void Deliver(Email email);
+  /// One delivery attempt; failures re-queue (bounded) or drop.
+  void AttemptDelivery(Email email);
 
   Options options_;
+  SendHook send_hook_;
   std::vector<Email> sent_;
   std::vector<Email> queue_;
   uint64_t sent_count_ = 0;
+  uint64_t send_failures_ = 0;
+  uint64_t dropped_after_retries_ = 0;
   Timestamp window_start_ = 0;
   uint64_t window_sent_ = 0;
 };

@@ -4,6 +4,10 @@
 #include <cstring>
 #include <vector>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 namespace xymon::storage {
 namespace {
 
@@ -35,7 +39,10 @@ LogStore::~LogStore() {
 }
 
 LogStore::LogStore(LogStore&& other) noexcept
-    : path_(std::move(other.path_)), file_(other.file_) {
+    : path_(std::move(other.path_)),
+      file_(other.file_),
+      options_(other.options_),
+      appends_since_sync_(other.appends_since_sync_) {
   other.file_ = nullptr;
 }
 
@@ -44,17 +51,33 @@ LogStore& LogStore::operator=(LogStore&& other) noexcept {
     if (file_ != nullptr) fclose(file_);
     path_ = std::move(other.path_);
     file_ = other.file_;
+    options_ = other.options_;
+    appends_since_sync_ = other.appends_since_sync_;
     other.file_ = nullptr;
   }
   return *this;
 }
 
-Result<LogStore> LogStore::Open(const std::string& path) {
+Result<LogStore> LogStore::Open(const std::string& path,
+                                const Options& options) {
   std::FILE* f = fopen(path.c_str(), "ab");
   if (f == nullptr) {
     return Status::IOError("cannot open log file " + path);
   }
-  return LogStore(path, f);
+  return LogStore(path, f, options);
+}
+
+Status LogStore::Sync() {
+#ifndef _WIN32
+  if (fflush(file_) != 0) {
+    return Status::IOError("flush failed for " + path_);
+  }
+  if (fsync(fileno(file_)) != 0) {
+    return Status::IOError("fsync failed for " + path_);
+  }
+#endif
+  appends_since_sync_ = 0;
+  return Status::OK();
 }
 
 Status LogStore::Append(std::string_view payload) {
@@ -67,6 +90,10 @@ Status LogStore::Append(std::string_view payload) {
   }
   if (fflush(file_) != 0) {
     return Status::IOError("flush failed for " + path_);
+  }
+  if (options_.fsync_every_n > 0 &&
+      ++appends_since_sync_ >= options_.fsync_every_n) {
+    return Sync();
   }
   return Status::OK();
 }

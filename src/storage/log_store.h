@@ -16,6 +16,16 @@ namespace xymon::storage {
 /// torn write at the tail is detected instead of replayed.
 uint32_t Crc32(std::string_view data);
 
+/// Durability knobs for LogStore (namespace-scope so it can be a default
+/// argument inside the class itself).
+struct LogStoreOptions {
+  /// fsync(2) the file every N appends (0 = never fsync; every append is
+  /// still fflushed to the OS). With fsync_every_n = 1 each Append is on
+  /// stable storage when it returns — recovery tests can assert data
+  /// survives a crash right after a flushed append.
+  uint32_t fsync_every_n = 0;
+};
+
 /// Append-only record log with per-record CRC framing:
 ///
 ///   [u32 payload_len][u32 crc32(payload)][payload bytes]
@@ -27,6 +37,8 @@ uint32_t Crc32(std::string_view data);
 /// log.
 class LogStore {
  public:
+  using Options = LogStoreOptions;
+
   ~LogStore();
 
   LogStore(LogStore&& other) noexcept;
@@ -35,10 +47,15 @@ class LogStore {
   LogStore& operator=(const LogStore&) = delete;
 
   /// Opens (creating if needed) the log at `path` for appending.
-  static Result<LogStore> Open(const std::string& path);
+  static Result<LogStore> Open(const std::string& path,
+                               const Options& options = {});
 
-  /// Appends one record and flushes it to the OS.
+  /// Appends one record and flushes it to the OS (and to disk per
+  /// Options::fsync_every_n).
   Status Append(std::string_view payload);
+
+  /// Forces the log onto stable storage now.
+  Status Sync();
 
   /// Replays every intact record in order. A corrupt record at the tail
   /// (torn write) stops replay with OK; corruption followed by further valid
@@ -54,11 +71,13 @@ class LogStore {
   const std::string& path() const { return path_; }
 
  private:
-  explicit LogStore(std::string path, std::FILE* file)
-      : path_(std::move(path)), file_(file) {}
+  explicit LogStore(std::string path, std::FILE* file, Options options)
+      : path_(std::move(path)), file_(file), options_(options) {}
 
   std::string path_;
   std::FILE* file_ = nullptr;
+  Options options_;
+  uint32_t appends_since_sync_ = 0;
 };
 
 }  // namespace xymon::storage

@@ -11,8 +11,9 @@ constexpr char kOpDelete = 'D';
 
 }  // namespace
 
-Result<PersistentMap> PersistentMap::Open(const std::string& path) {
-  auto log = LogStore::Open(path);
+Result<PersistentMap> PersistentMap::Open(
+    const std::string& path, const LogStore::Options& log_options) {
+  auto log = LogStore::Open(path, log_options);
   if (!log.ok()) return log.status();
   PersistentMap map(std::move(log).value());
   Status st = map.log_.Replay(

@@ -23,7 +23,9 @@ class PersistentMap {
   PersistentMap& operator=(PersistentMap&&) = default;
 
   /// Opens the map backed by `path`, replaying any existing log.
-  static Result<PersistentMap> Open(const std::string& path);
+  /// `log_options` tunes durability (see LogStore::Options::fsync_every_n).
+  static Result<PersistentMap> Open(const std::string& path,
+                                    const LogStore::Options& log_options = {});
 
   /// Inserts or overwrites, durably.
   Status Put(std::string_view key, std::string_view value);

@@ -23,11 +23,14 @@ XylemeMonitor::XylemeMonitor(const Clock* clock, const Options& options)
               &trigger_engine_, &reporter_, &query_engine_, clock},
           options.validator) {
   reporter_.set_web_portal(&web_portal_);
+  warehouse_.set_max_parse_failures(options.max_parse_failures_per_url);
   if (!options.warehouse_path.empty()) {
     (void)warehouse_.AttachStorage(options.warehouse_path);
   }
   if (!options.storage_path.empty()) {
-    Status st = manager_.AttachStorage(options.storage_path);
+    Status st = manager_.AttachStorage(
+        options.storage_path,
+        storage::LogStore::Options{options.storage_fsync_every_n});
     // Construction cannot fail without exceptions; a bad storage path
     // leaves the system running non-durably. Callers that need durability
     // check manager().AttachStorage explicitly in tests.
@@ -137,6 +140,12 @@ void XylemeMonitor::ProcessFetch(const std::string& url,
   ++stats_.documents_processed;
 
   warehouse::IngestResult ingest = warehouse_.Ingest({url, body}, now);
+  if (ingest.degraded) {
+    // Malformed body absorbed by the warehouse: count it and move on — the
+    // last good version stays live, no alert fires for garbage bytes.
+    ++stats_.degraded_documents;
+    return;
+  }
   auto alert = pipeline_.BuildAlert(ingest, body);
   if (!alert.has_value()) return;
   ++stats_.alerts_raised;
@@ -203,6 +212,52 @@ Status XylemeMonitor::ProcessDeletion(const std::string& url) {
   return Status::OK();
 }
 
+void XylemeMonitor::ProcessCrawl(webstub::Crawler* crawler) {
+  ApplyRefreshHints(crawler);
+  for (const webstub::FetchedDoc& doc :
+       crawler->FetchAllDue(clock_->Now())) {
+    ProcessFetch(doc);
+  }
+  ProcessDocStatusEvents(crawler->TakeEvents());
+  const webstub::CrawlerStats& cs = crawler->stats();
+  stats_.fetch_errors = cs.fetch_errors;
+  stats_.retries = cs.retries_scheduled;
+  quarantined_urls_ = crawler->quarantined_count();
+  last_crawler_stats_ = cs;
+}
+
+void XylemeMonitor::ProcessDocStatusEvents(
+    const std::vector<webstub::DocStatusEvent>& events) {
+  for (const webstub::DocStatusEvent& event : events) {
+    switch (event.kind) {
+      case webstub::DocStatusEvent::Kind::kDisappeared: {
+        ++stats_.disappeared_documents;
+        // The paper's `document disappeared` weak event: run the deletion
+        // path so `deleted self` subscriptions are notified. A page the
+        // warehouse never ingested has nothing to delete — ignore NotFound.
+        Status st = ProcessDeletion(event.url);
+        (void)st;
+        break;
+      }
+      case webstub::DocStatusEvent::Kind::kReappeared:
+        ++stats_.reappeared_documents;
+        break;
+    }
+  }
+}
+
+XylemeMonitor::HealthReport XylemeMonitor::health() const {
+  HealthReport report;
+  report.fetch_errors = stats_.fetch_errors;
+  report.retries = stats_.retries;
+  report.quarantined_urls = quarantined_urls_;
+  report.degraded_documents = stats_.degraded_documents;
+  report.disappeared_documents = stats_.disappeared_documents;
+  report.reappeared_documents = stats_.reappeared_documents;
+  report.crawler = last_crawler_stats_;
+  return report;
+}
+
 void XylemeMonitor::Tick() {
   Timestamp now = clock_->Now();
   trigger_engine_.Tick(now);
@@ -253,6 +308,15 @@ std::string XylemeMonitor::StatusReport() const {
   xml::Node* portal = root->AddChild(xml::Node::Element("WebPortal"));
   portal->SetAttribute("published",
                        std::to_string(web_portal_.published_count()));
+
+  xml::Node* hp = root->AddChild(xml::Node::Element("Health"));
+  hp->SetAttribute("fetch_errors", std::to_string(stats_.fetch_errors));
+  hp->SetAttribute("retries", std::to_string(stats_.retries));
+  hp->SetAttribute("quarantined_urls", std::to_string(quarantined_urls_));
+  hp->SetAttribute("degraded_documents",
+                   std::to_string(stats_.degraded_documents));
+  hp->SetAttribute("disappeared", std::to_string(stats_.disappeared_documents));
+  hp->SetAttribute("reappeared", std::to_string(stats_.reappeared_documents));
 
   return xml::Serialize(*root, {.indent = true});
 }

@@ -39,6 +39,12 @@ class XylemeMonitor {
     std::string warehouse_path;
     /// Outbox capacity (0 = unlimited); see bench_reporter.
     uint64_t outbox_daily_capacity = 0;
+    /// Consecutive malformed bodies absorbed per warehoused-XML URL before
+    /// the type change is accepted (degrade-don't-die; 0 = accept at once).
+    uint32_t max_parse_failures_per_url = 3;
+    /// fsync the subscription log every N appends (0 = flush only); see
+    /// LogStore::Options.
+    uint32_t storage_fsync_every_n = 0;
     sublang::ValidatorOptions validator;
   };
 
@@ -46,6 +52,30 @@ class XylemeMonitor {
     uint64_t documents_processed = 0;
     uint64_t alerts_raised = 0;
     uint64_t notifications = 0;
+    // Acquisition resilience (all monotone; mirrors of the driving
+    // crawler's counters are refreshed by ProcessCrawl).
+    uint64_t fetch_errors = 0;
+    uint64_t retries = 0;
+    uint64_t degraded_documents = 0;  // malformed bodies absorbed & skipped
+    uint64_t disappeared_documents = 0;
+    uint64_t reappeared_documents = 0;
+
+    bool operator==(const Stats&) const = default;
+  };
+
+  /// Operator view of how the system is absorbing web faults: the monitor's
+  /// own degrade counters plus the driving crawler's fault/outcome counters
+  /// (as of the last ProcessCrawl).
+  struct HealthReport {
+    uint64_t fetch_errors = 0;
+    uint64_t retries = 0;
+    uint64_t quarantined_urls = 0;  // gauge, from the last ProcessCrawl
+    uint64_t degraded_documents = 0;
+    uint64_t disappeared_documents = 0;
+    uint64_t reappeared_documents = 0;
+    webstub::CrawlerStats crawler;
+
+    bool operator==(const HealthReport&) const = default;
   };
 
   explicit XylemeMonitor(const Clock* clock) : XylemeMonitor(clock, {}) {}
@@ -75,6 +105,19 @@ class XylemeMonitor {
     ProcessFetch(doc.url, doc.body);
   }
 
+  /// Drives one acquisition round end-to-end: pushes `refresh` hints,
+  /// fetches everything due at the current clock, processes each document,
+  /// routes the crawler's doc-status transitions into the alerter chain and
+  /// refreshes the health counters. The degrade-don't-die entry point — a
+  /// faulting web never aborts the round.
+  void ProcessCrawl(webstub::Crawler* crawler);
+
+  /// Routes observed doc-status transitions (paper's weak events) into the
+  /// chain: `disappeared` runs the deletion path (deleted-self and URL
+  /// conditions fire through the URL alerter), `reappeared` is counted; the
+  /// re-ingest happens with the next successful fetch.
+  void ProcessDocStatusEvents(const std::vector<webstub::DocStatusEvent>& events);
+
   /// Explicit page deletion (rare on the web; paper §5.1 footnote).
   Status ProcessDeletion(const std::string& url);
 
@@ -94,6 +137,7 @@ class XylemeMonitor {
   // -- Component access (read-mostly; used by tests, benches, examples) -----
 
   const Stats& stats() const { return stats_; }
+  HealthReport health() const;
   warehouse::Warehouse& warehouse() { return warehouse_; }
   reporter::Reporter& reporter() { return reporter_; }
   reporter::Outbox& outbox() { return outbox_; }
@@ -124,6 +168,8 @@ class XylemeMonitor {
   reporter::Reporter reporter_;
   manager::SubscriptionManager manager_;
   Stats stats_;
+  webstub::CrawlerStats last_crawler_stats_;
+  uint64_t quarantined_urls_ = 0;
 };
 
 }  // namespace xymon::system

@@ -153,8 +153,10 @@ IngestResult Warehouse::Ingest(const FetchedContent& page, Timestamp now) {
 
   auto it = entries_.find(page.url);
   if (it != entries_.end() && it->second->meta.signature == signature) {
-    // Unchanged: only the access time moves.
+    // Unchanged: only the access time moves. A healthy body also ends any
+    // malformed-fetch streak (the parse-failure cap counts consecutive ones).
     Entry& entry = *it->second;
+    entry.parse_failures = 0;
     entry.meta.last_accessed = now;
     entry.meta.status = DocStatus::kUnchanged;
     out.meta = entry.meta;
@@ -165,6 +167,24 @@ IngestResult Warehouse::Ingest(const FetchedContent& page, Timestamp now) {
   // New or updated content: try to parse as XML.
   auto parsed = xml::Parse(page.body);
   bool is_xml = parsed.ok();
+
+  if (!is_xml && it != entries_.end() && it->second->has_current &&
+      max_parse_failures_ > 0 &&
+      it->second->parse_failures < max_parse_failures_) {
+    // A warehoused-XML page delivered a malformed body — on the unreliable
+    // web that is usually a truncated transfer or a proxy error page, not a
+    // real type change. Absorb it: keep the last good version, move only
+    // the access time, and report the fetch as degraded. Past the cap the
+    // type change is accepted below (the page really stopped being XML).
+    Entry& entry = *it->second;
+    ++entry.parse_failures;
+    entry.meta.last_accessed = now;
+    entry.meta.status = DocStatus::kUnchanged;
+    out.meta = entry.meta;
+    out.current = &entry.current;
+    out.degraded = true;
+    return out;
+  }
 
   if (it == entries_.end()) {
     auto entry = std::make_unique<Entry>();
@@ -212,6 +232,7 @@ IngestResult Warehouse::Ingest(const FetchedContent& page, Timestamp now) {
 
   // Updated content.
   Entry& entry = *it->second;
+  entry.parse_failures = 0;
   entry.meta.last_accessed = now;
   entry.meta.last_updated = now;
   entry.meta.signature = signature;

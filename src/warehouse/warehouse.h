@@ -35,6 +35,10 @@ struct IngestResult {
   const xml::Document* previous = nullptr;
   /// Element-level changes (kUpdated only); see xmldiff::DiffResult.
   xmldiff::DiffResult diff;
+  /// True when a malformed body for a warehoused-XML page was absorbed: the
+  /// last good version was kept, nothing changed except last_accessed. The
+  /// monitor counts such fetches instead of alerting on them.
+  bool degraded = false;
 };
 
 /// The XML repository + index manager of Figure 1, reduced to what the
@@ -65,6 +69,16 @@ class Warehouse {
   void EnableVersioning(size_t max_deltas = 16) {
     versioning_ = true;
     max_deltas_ = max_deltas;
+  }
+
+  /// Degrade-don't-die (acquisition resilience): when a warehoused-XML URL
+  /// suddenly returns a body that does not parse — a truncated transfer or
+  /// a proxy error page, not a real edit — tolerate up to `max_consecutive`
+  /// such fetches: the last good version is kept and IngestResult.degraded
+  /// is set. Beyond the cap the type change is accepted (the page really is
+  /// no longer XML). 0 restores the old drop-immediately behaviour.
+  void set_max_parse_failures(uint32_t max_consecutive) {
+    max_parse_failures_ = max_consecutive;
   }
 
   /// Ingests one fetch: computes the new status (new/updated/unchanged),
@@ -112,6 +126,7 @@ class Warehouse {
     xml::Document previous;
     xmldiff::XidAllocator xids;
     std::unique_ptr<VersionChain> versions;
+    uint32_t parse_failures = 0;  // consecutive malformed bodies absorbed
   };
 
   std::string EncodeEntry(const Entry& entry) const;
@@ -122,6 +137,7 @@ class Warehouse {
   const DomainClassifier* classifier_;
   bool versioning_ = false;
   size_t max_deltas_ = 16;
+  uint32_t max_parse_failures_ = 3;
   std::optional<storage::PersistentMap> store_;
   std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
   std::unordered_map<std::string, uint32_t> dtd_ids_;

@@ -1,5 +1,7 @@
 #include "src/webstub/synthetic_web.h"
 
+#include <algorithm>
+
 #include "src/common/hash.h"
 
 namespace xymon::webstub {
@@ -31,7 +33,31 @@ constexpr const char* kLastNames[] = {"jouglet", "nguyen", "preda",
 
 const char* PickWord(uint64_t h) { return kWords[h % kWordCount]; }
 
+double UnitDouble(uint64_t raw) {
+  return static_cast<double>(raw >> 11) * (1.0 / 9007199254740992.0);
+}
+
 }  // namespace
+
+const char* FetchFaultName(FetchFault fault) {
+  switch (fault) {
+    case FetchFault::kNone:
+      return "none";
+    case FetchFault::kTimeout:
+      return "timeout";
+    case FetchFault::kServerError:
+      return "server_error";
+    case FetchFault::kDisappeared:
+      return "disappeared";
+    case FetchFault::kTruncated:
+      return "truncated";
+    case FetchFault::kGarbage:
+      return "garbage";
+    case FetchFault::kSlow:
+      return "slow";
+  }
+  return "unknown";
+}
 
 void SyntheticWeb::AddCatalogPage(const std::string& url,
                                   const std::string& dtd_url,
@@ -42,6 +68,7 @@ void SyntheticWeb::AddCatalogPage(const std::string& url,
   page.item_count = product_count;
   page.seed = Fnv1a(url);
   page.change_rate = change_rate;
+  InitFaultState(url, &page);
   pages_[url] = std::move(page);
 }
 
@@ -53,6 +80,7 @@ void SyntheticWeb::AddMembersPage(const std::string& url,
   page.item_count = initial_members;
   page.seed = Fnv1a(url);
   page.change_rate = change_rate;
+  InitFaultState(url, &page);
   pages_[url] = std::move(page);
 }
 
@@ -65,6 +93,7 @@ void SyntheticWeb::AddNewsPage(const std::string& url,
   page.seed = Fnv1a(url);
   page.change_rate = change_rate;
   page.keywords = std::move(keywords);
+  InitFaultState(url, &page);
   pages_[url] = std::move(page);
 }
 
@@ -77,6 +106,7 @@ void SyntheticWeb::AddHtmlPage(const std::string& url,
   page.seed = Fnv1a(url);
   page.change_rate = change_rate;
   page.keywords = std::move(keywords);
+  InitFaultState(url, &page);
   pages_[url] = std::move(page);
 }
 
@@ -88,15 +118,98 @@ void SyntheticWeb::AddHubPage(const std::string& url,
   page.seed = Fnv1a(url);
   page.change_rate = change_rate;
   page.keywords = std::move(links);  // Reuse the keyword slot for links.
+  InitFaultState(url, &page);
   pages_[url] = std::move(page);
 }
 
 void SyntheticWeb::RemovePage(const std::string& url) { pages_.erase(url); }
 
-std::optional<std::string> SyntheticWeb::Fetch(const std::string& url) const {
+void SyntheticWeb::SetFaultPlan(const FaultPlan& plan) {
+  plan_ = plan;
+  has_plan_ = true;
+  fault_rng_ = Rng(plan.seed);
+  for (auto& [url, page] : pages_) {
+    InitFaultState(url, &page);
+  }
+}
+
+void SyntheticWeb::InitFaultState(const std::string& url, Page* page) const {
+  if (!has_plan_) return;
+  // Fault-proneness is a pure function of (plan seed, url) so two webs built
+  // from the same seed agree regardless of page-insertion order.
+  uint64_t h = HashCombine(plan_.seed, Fnv1a(url));
+  page->fault_prone = UnitDouble(h * 0x9e3779b97f4a7c15ull ^ (h >> 17)) <
+                      plan_.fault_fraction;
+}
+
+FetchFault SyntheticWeb::PickEpisodeKind() {
+  const double weights[] = {plan_.timeout_weight,  plan_.server_error_weight,
+                            plan_.disappear_weight, plan_.truncate_weight,
+                            plan_.garbage_weight,   plan_.slow_weight};
+  const FetchFault kinds[] = {FetchFault::kTimeout,   FetchFault::kServerError,
+                              FetchFault::kDisappeared, FetchFault::kTruncated,
+                              FetchFault::kGarbage,     FetchFault::kSlow};
+  double total = 0;
+  for (double w : weights) total += w;
+  if (total <= 0) return FetchFault::kNone;
+  double r = UnitDouble(fault_rng_.Next()) * total;
+  for (size_t i = 0; i < 6; ++i) {
+    r -= weights[i];
+    if (r < 0) return kinds[i];
+  }
+  return FetchFault::kSlow;
+}
+
+Result<FetchResponse> SyntheticWeb::Fetch(const std::string& url) const {
   auto it = pages_.find(url);
-  if (it == pages_.end()) return std::nullopt;
-  return Render(url, it->second);
+  if (it == pages_.end()) {
+    return Status::NotFound("404: " + url);
+  }
+  const Page& page = it->second;
+  switch (page.fault) {
+    case FetchFault::kDisappeared:
+      return Status::NotFound("document disappeared: " + url);
+    case FetchFault::kTimeout:
+      return Status::IOError("timeout fetching " + url);
+    case FetchFault::kServerError:
+      return Status::Unavailable("503 from " + url);
+    default:
+      break;
+  }
+  FetchResponse response;
+  response.body = Render(url, page);
+  response.latency = has_plan_ ? plan_.base_latency : kSecond;
+  response.fault = page.fault;
+  switch (page.fault) {
+    case FetchFault::kTruncated: {
+      // Cut the body mid-stream at a deterministic, version-dependent point
+      // (never the full length — a truncation must lose bytes).
+      size_t len = response.body.size();
+      if (len > 1) {
+        size_t cut = 1 + HashCombine(page.seed, page.version) % (len - 1);
+        response.body.resize(cut);
+      }
+      break;
+    }
+    case FetchFault::kGarbage: {
+      // A proxy error page / wrong bytes: deterministic, never valid XML.
+      uint64_t h = HashCombine(page.seed ^ 0xBAD, page.version);
+      std::string junk = "<<< 502 Bad Gateway ";
+      for (int w = 0; w < 6; ++w) {
+        junk += PickWord(HashCombine(h, static_cast<uint64_t>(w)));
+        junk += ' ';
+      }
+      junk += "&&& >>>";
+      response.body = std::move(junk);
+      break;
+    }
+    case FetchFault::kSlow:
+      response.latency = plan_.slow_latency;
+      break;
+    default:
+      break;
+  }
+  return response;
 }
 
 size_t SyntheticWeb::Step() {
@@ -108,6 +221,33 @@ size_t SyntheticWeb::Step() {
       ++changed;
     }
   }
+  if (has_plan_) {
+    // Fault episodes advance on a dedicated RNG stream so installing a plan
+    // leaves content evolution bit-identical.
+    for (auto& [url, page] : pages_) {
+      (void)url;
+      if (!page.fault_prone || page.permanently_gone) continue;
+      if (page.fault_steps_left > 0) {
+        if (--page.fault_steps_left == 0) page.fault = FetchFault::kNone;
+        continue;
+      }
+      if (!fault_rng_.Bernoulli(plan_.episode_rate)) continue;
+      FetchFault kind = PickEpisodeKind();
+      if (kind == FetchFault::kNone) continue;
+      page.fault = kind;
+      uint32_t span = std::max(plan_.episode_max_steps,
+                               plan_.episode_min_steps) -
+                      plan_.episode_min_steps + 1;
+      page.fault_steps_left =
+          plan_.episode_min_steps + static_cast<uint32_t>(
+                                        fault_rng_.Uniform(span));
+      if (kind == FetchFault::kDisappeared &&
+          fault_rng_.Bernoulli(plan_.permanent_disappear_rate)) {
+        page.permanently_gone = true;
+        page.fault_steps_left = 0;  // Gone for good; the episode never ends.
+      }
+    }
+  }
   return changed;
 }
 
@@ -115,10 +255,34 @@ std::vector<std::string> SyntheticWeb::Urls() const {
   std::vector<std::string> out;
   out.reserve(pages_.size());
   for (const auto& [url, page] : pages_) {
-    (void)page;
+    if (page.permanently_gone) continue;
     out.push_back(url);
   }
   return out;
+}
+
+FetchFault SyntheticWeb::CurrentFault(const std::string& url) const {
+  auto it = pages_.find(url);
+  return it == pages_.end() ? FetchFault::kNone : it->second.fault;
+}
+
+bool SyntheticWeb::IsFaultProne(const std::string& url) const {
+  auto it = pages_.find(url);
+  return it != pages_.end() && it->second.fault_prone;
+}
+
+bool SyntheticWeb::IsPermanentlyGone(const std::string& url) const {
+  auto it = pages_.find(url);
+  return it != pages_.end() && it->second.permanently_gone;
+}
+
+size_t SyntheticWeb::fault_prone_count() const {
+  size_t n = 0;
+  for (const auto& [url, page] : pages_) {
+    (void)url;
+    if (page.fault_prone) ++n;
+  }
+  return n;
 }
 
 std::string SyntheticWeb::Render(const std::string& url,

@@ -3,13 +3,68 @@
 
 #include <cstdint>
 #include <map>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/common/clock.h"
+#include "src/common/result.h"
 #include "src/common/rng.h"
 
 namespace xymon::webstub {
+
+/// The fault a fetch attempt is subject to (the unreliable-web taxonomy,
+/// DESIGN.md "Unreliable web & acquisition resilience"). The first three are
+/// *no-response* faults surfaced as error Statuses; the last three deliver a
+/// response whose body or latency is degraded.
+enum class FetchFault {
+  kNone,
+  kTimeout,      // no response before the deadline      -> Status::IOError
+  kServerError,  // 5xx-style transient server failure   -> Status::Unavailable
+  kDisappeared,  // 404 episode; the page may come back  -> Status::NotFound
+  kTruncated,    // connection dropped mid-body (prefix of the real content)
+  kGarbage,      // proxy/error bytes delivered instead of the content
+  kSlow,         // full body, but only after a long latency
+};
+
+const char* FetchFaultName(FetchFault fault);
+
+/// A successful response from the (synthetic) web.
+struct FetchResponse {
+  std::string body;
+  /// Simulated time-to-serve for this response.
+  Timestamp latency = kSecond;
+  /// Simulation ground truth: the body-level fault this response carries
+  /// (kNone, kTruncated, kGarbage or kSlow). Tests and benches may read it;
+  /// the crawler/monitor must not — a real crawler only sees the bytes.
+  FetchFault fault = FetchFault::kNone;
+};
+
+/// Deterministic, seeded fault injection: a fraction of pages is marked
+/// fault-prone; each Step() such a page may enter a fault *episode* (one
+/// kind, a bounded number of steps) during which every Fetch observes the
+/// fault. Episode transitions draw from a dedicated RNG so enabling a plan
+/// does not perturb content evolution.
+struct FaultPlan {
+  uint64_t seed = 1;
+  /// Fraction of pages that are fault-prone (chosen per URL, by hash).
+  double fault_fraction = 0.0;
+  /// Per-Step chance that a healthy fault-prone page starts an episode.
+  double episode_rate = 0.1;
+  uint32_t episode_min_steps = 1;
+  uint32_t episode_max_steps = 4;
+  /// Relative weights of the episode kinds (0 disables a kind).
+  double timeout_weight = 1.0;
+  double server_error_weight = 1.0;
+  double disappear_weight = 0.5;
+  double truncate_weight = 1.0;
+  double garbage_weight = 1.0;
+  double slow_weight = 1.0;
+  /// Chance that a disappear episode never ends (the page is gone for good —
+  /// the paper's `document disappeared` without a reappearance).
+  double permanent_disappear_rate = 0.0;
+  Timestamp base_latency = kSecond;
+  Timestamp slow_latency = 30 * kSecond;
+};
 
 /// A deterministic stand-in for the web (DESIGN.md §1 substitution table):
 /// the paper's experiments run against the live web via the Xyleme crawler;
@@ -24,9 +79,13 @@ namespace xymon::webstub {
 ///   * member pages — a member list that grows (the MyXyleme example of §2.2);
 ///   * news pages — XML articles with drifting vocabulary;
 ///   * HTML pages — unstructured text, only signature-level change.
+///
+/// With a FaultPlan installed the web additionally misbehaves the way live
+/// servers do: timeouts, 5xx errors, truncated and garbage bodies, slow
+/// responses and (possibly permanent) disappearances.
 class SyntheticWeb {
  public:
-  explicit SyntheticWeb(uint64_t seed) : rng_(seed) {}
+  explicit SyntheticWeb(uint64_t seed) : rng_(seed), fault_rng_(1) {}
 
   void AddCatalogPage(const std::string& url, const std::string& dtd_url,
                       uint32_t product_count, double change_rate = 0.5);
@@ -44,15 +103,35 @@ class SyntheticWeb {
                   double change_rate = 0.1);
   void RemovePage(const std::string& url);
 
-  /// Current content; nullopt for unknown URLs (404).
-  std::optional<std::string> Fetch(const std::string& url) const;
+  /// Installs a fault plan; pages (present and future) become fault-prone
+  /// per plan.fault_fraction, deterministically by URL hash. Call before
+  /// the first Step() for full reproducibility.
+  void SetFaultPlan(const FaultPlan& plan);
 
-  /// One round of web evolution: each page mutates with its change rate.
-  /// Returns the number of pages that changed.
+  /// One fetch attempt. Errors:
+  ///   * NotFound     — unknown URL, or a (possibly permanent) disappearance;
+  ///   * IOError      — timeout (transient);
+  ///   * Unavailable  — 5xx-style server error (transient).
+  /// A returned FetchResponse may still carry a truncated/garbage body or a
+  /// long latency — exactly what a live crawler has to absorb.
+  Result<FetchResponse> Fetch(const std::string& url) const;
+
+  /// One round of web evolution: each page mutates with its change rate and
+  /// fault episodes advance. Returns the number of pages whose content
+  /// changed.
   size_t Step();
 
+  /// URLs currently on the web (permanently disappeared pages excluded).
   std::vector<std::string> Urls() const;
   size_t page_count() const { return pages_.size(); }
+
+  // -- Fault introspection (ground truth for tests/benches) ------------------
+
+  /// The fault currently governing `url` (kNone if healthy or unknown).
+  FetchFault CurrentFault(const std::string& url) const;
+  bool IsFaultProne(const std::string& url) const;
+  bool IsPermanentlyGone(const std::string& url) const;
+  size_t fault_prone_count() const;
 
  private:
   struct Page {
@@ -64,8 +143,15 @@ class SyntheticWeb {
     uint64_t seed = 0;
     double change_rate = 0.5;
     std::vector<std::string> keywords;
+    // Fault state (driven by Step under the installed FaultPlan).
+    bool fault_prone = false;
+    FetchFault fault = FetchFault::kNone;
+    uint32_t fault_steps_left = 0;
+    bool permanently_gone = false;
   };
 
+  void InitFaultState(const std::string& url, Page* page) const;
+  FetchFault PickEpisodeKind();
   std::string Render(const std::string& url, const Page& page) const;
   std::string RenderCatalog(const Page& page) const;
   std::string RenderMembers(const Page& page) const;
@@ -75,6 +161,9 @@ class SyntheticWeb {
 
   std::map<std::string, Page> pages_;
   mutable Rng rng_;
+  FaultPlan plan_;
+  bool has_plan_ = false;
+  Rng fault_rng_;
 };
 
 }  // namespace xymon::webstub

@@ -8,19 +8,39 @@
 namespace xymon::webstub {
 namespace {
 
+// A plan where every page is fault-prone and every Step starts an episode of
+// exactly `kind` lasting `steps` Steps. The workhorse of the fault tests.
+FaultPlan SingleFaultPlan(FetchFault kind, uint32_t steps = 1) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.fault_fraction = 1.0;
+  plan.episode_rate = 1.0;
+  plan.episode_min_steps = steps;
+  plan.episode_max_steps = steps;
+  plan.timeout_weight = kind == FetchFault::kTimeout ? 1.0 : 0.0;
+  plan.server_error_weight = kind == FetchFault::kServerError ? 1.0 : 0.0;
+  plan.disappear_weight = kind == FetchFault::kDisappeared ? 1.0 : 0.0;
+  plan.truncate_weight = kind == FetchFault::kTruncated ? 1.0 : 0.0;
+  plan.garbage_weight = kind == FetchFault::kGarbage ? 1.0 : 0.0;
+  plan.slow_weight = kind == FetchFault::kSlow ? 1.0 : 0.0;
+  return plan;
+}
+
 TEST(SyntheticWebTest, PagesAreDeterministic) {
   SyntheticWeb a(42), b(42);
   a.AddCatalogPage("http://s/c.xml", "http://s/c.dtd", 10);
   b.AddCatalogPage("http://s/c.xml", "http://s/c.dtd", 10);
-  EXPECT_EQ(a.Fetch("http://s/c.xml"), b.Fetch("http://s/c.xml"));
+  EXPECT_EQ(a.Fetch("http://s/c.xml")->body, b.Fetch("http://s/c.xml")->body);
   a.Step();
   b.Step();
-  EXPECT_EQ(a.Fetch("http://s/c.xml"), b.Fetch("http://s/c.xml"));
+  EXPECT_EQ(a.Fetch("http://s/c.xml")->body, b.Fetch("http://s/c.xml")->body);
 }
 
 TEST(SyntheticWebTest, UnknownUrlIs404) {
   SyntheticWeb web(1);
-  EXPECT_EQ(web.Fetch("http://nope/"), std::nullopt);
+  auto response = web.Fetch("http://nope/");
+  EXPECT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsNotFound());
 }
 
 TEST(SyntheticWebTest, GeneratedXmlPagesParse) {
@@ -31,9 +51,9 @@ TEST(SyntheticWebTest, GeneratedXmlPagesParse) {
   for (int step = 0; step < 5; ++step) {
     for (const char* url : {"http://s/c.xml", "http://s/m.xml",
                             "http://s/n.xml"}) {
-      auto body = web.Fetch(url);
-      ASSERT_TRUE(body.has_value());
-      auto doc = xml::Parse(*body);
+      auto response = web.Fetch(url);
+      ASSERT_TRUE(response.ok());
+      auto doc = xml::Parse(response->body);
       EXPECT_TRUE(doc.ok()) << url << ": " << doc.status().ToString();
     }
     web.Step();
@@ -44,9 +64,9 @@ TEST(SyntheticWebTest, CatalogEvolvesByWindowAndReprice) {
   SyntheticWeb web(3);
   web.AddCatalogPage("http://s/c.xml", "http://s/c.dtd", 5,
                      /*change_rate=*/1.0);
-  auto v0 = xml::Parse(*web.Fetch("http://s/c.xml"));
+  auto v0 = xml::Parse(web.Fetch("http://s/c.xml")->body);
   web.Step();
-  auto v1 = xml::Parse(*web.Fetch("http://s/c.xml"));
+  auto v1 = xml::Parse(web.Fetch("http://s/c.xml")->body);
   ASSERT_TRUE(v0.ok() && v1.ok());
   // Same number of products, shifted window: first id changes.
   auto p0 = v0->root->FindChildren("Product");
@@ -63,7 +83,7 @@ TEST(SyntheticWebTest, MembersPageOnlyGrows) {
   web.AddMembersPage("http://s/m.xml", 3, /*change_rate=*/1.0);
   size_t last = 0;
   for (int step = 0; step < 4; ++step) {
-    auto doc = xml::Parse(*web.Fetch("http://s/m.xml"));
+    auto doc = xml::Parse(web.Fetch("http://s/m.xml")->body);
     ASSERT_TRUE(doc.ok());
     size_t members = doc->root->FindChildren("Member").size();
     EXPECT_GE(members, last);
@@ -78,15 +98,135 @@ TEST(SyntheticWebTest, ZeroChangeRateIsStatic) {
   web.AddHtmlPage("http://s/p.html", {}, /*change_rate=*/0.0);
   auto before = web.Fetch("http://s/p.html");
   for (int i = 0; i < 10; ++i) web.Step();
-  EXPECT_EQ(web.Fetch("http://s/p.html"), before);
+  EXPECT_EQ(web.Fetch("http://s/p.html")->body, before->body);
 }
 
 TEST(SyntheticWebTest, RemovePage404s) {
   SyntheticWeb web(2);
   web.AddHtmlPage("http://s/x.html");
-  ASSERT_TRUE(web.Fetch("http://s/x.html").has_value());
+  ASSERT_TRUE(web.Fetch("http://s/x.html").ok());
   web.RemovePage("http://s/x.html");
-  EXPECT_EQ(web.Fetch("http://s/x.html"), std::nullopt);
+  EXPECT_TRUE(web.Fetch("http://s/x.html").status().IsNotFound());
+}
+
+// ------------------------------------------------------- Fault injection --
+
+TEST(SyntheticWebFaultTest, PlanDoesNotPerturbContentEvolution) {
+  // A slow-only plan degrades latency but must leave the content stream
+  // bit-identical to a fault-free twin built from the same seed.
+  SyntheticWeb plain(11), faulty(11);
+  for (SyntheticWeb* web : {&plain, &faulty}) {
+    web->AddCatalogPage("http://s/c.xml", "http://s/c.dtd", 6);
+    web->AddNewsPage("http://s/n.xml", {"camera"});
+  }
+  FaultPlan plan = SingleFaultPlan(FetchFault::kSlow, /*steps=*/2);
+  faulty.SetFaultPlan(plan);
+  for (int step = 0; step < 8; ++step) {
+    plain.Step();
+    faulty.Step();
+    for (const char* url : {"http://s/c.xml", "http://s/n.xml"}) {
+      auto a = plain.Fetch(url);
+      auto b = faulty.Fetch(url);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(a->body, b->body) << url << " at step " << step;
+    }
+  }
+  // And the slow fault actually showed up in the latency channel.
+  EXPECT_EQ(faulty.CurrentFault("http://s/c.xml"), FetchFault::kSlow);
+  EXPECT_EQ(faulty.Fetch("http://s/c.xml")->latency, plan.slow_latency);
+  EXPECT_EQ(plain.Fetch("http://s/c.xml")->latency, kSecond);
+}
+
+TEST(SyntheticWebFaultTest, EpisodesAreDeterministic) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.fault_fraction = 0.6;
+  plan.episode_rate = 0.5;
+  SyntheticWeb a(13), b(13);
+  for (SyntheticWeb* web : {&a, &b}) {
+    for (int i = 0; i < 8; ++i) {
+      web->AddHtmlPage("http://s/p" + std::to_string(i) + ".html");
+    }
+    web->SetFaultPlan(plan);
+  }
+  EXPECT_EQ(a.fault_prone_count(), b.fault_prone_count());
+  for (int step = 0; step < 30; ++step) {
+    a.Step();
+    b.Step();
+    for (const std::string& url : a.Urls()) {
+      EXPECT_EQ(a.CurrentFault(url), b.CurrentFault(url))
+          << url << " at step " << step;
+    }
+  }
+}
+
+TEST(SyntheticWebFaultTest, NoResponseFaultsMapToStatuses) {
+  struct Case {
+    FetchFault kind;
+    bool (Status::*check)() const;
+  };
+  const Case cases[] = {
+      {FetchFault::kTimeout, &Status::IsIOError},
+      {FetchFault::kServerError, &Status::IsUnavailable},
+      {FetchFault::kDisappeared, &Status::IsNotFound},
+  };
+  for (const Case& c : cases) {
+    SyntheticWeb web(21);
+    web.AddHtmlPage("http://s/p.html");
+    web.SetFaultPlan(SingleFaultPlan(c.kind));
+    ASSERT_TRUE(web.Fetch("http://s/p.html").ok());  // Healthy before Step.
+    web.Step();
+    ASSERT_EQ(web.CurrentFault("http://s/p.html"), c.kind);
+    auto response = web.Fetch("http://s/p.html");
+    ASSERT_FALSE(response.ok()) << FetchFaultName(c.kind);
+    EXPECT_TRUE((response.status().*c.check)()) << FetchFaultName(c.kind);
+  }
+}
+
+TEST(SyntheticWebFaultTest, TruncatedBodyIsAProperPrefix) {
+  SyntheticWeb plain(31), faulty(31);
+  for (SyntheticWeb* web : {&plain, &faulty}) {
+    web->AddCatalogPage("http://s/c.xml", "http://s/c.dtd", 6);
+  }
+  faulty.SetFaultPlan(SingleFaultPlan(FetchFault::kTruncated));
+  plain.Step();
+  faulty.Step();
+  auto full = plain.Fetch("http://s/c.xml");
+  auto cut = faulty.Fetch("http://s/c.xml");
+  ASSERT_TRUE(full.ok() && cut.ok());
+  EXPECT_EQ(cut->fault, FetchFault::kTruncated);
+  EXPECT_LT(cut->body.size(), full->body.size());
+  EXPECT_EQ(full->body.compare(0, cut->body.size(), cut->body), 0);
+}
+
+TEST(SyntheticWebFaultTest, GarbageBodyNeverParses) {
+  SyntheticWeb web(41);
+  web.AddNewsPage("http://s/n.xml");
+  web.SetFaultPlan(SingleFaultPlan(FetchFault::kGarbage, /*steps=*/3));
+  for (int step = 0; step < 3; ++step) {
+    web.Step();
+    auto response = web.Fetch("http://s/n.xml");
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->fault, FetchFault::kGarbage);
+    EXPECT_FALSE(xml::Parse(response->body).ok());
+  }
+}
+
+TEST(SyntheticWebFaultTest, PermanentDisappearanceRemovesFromUrls) {
+  SyntheticWeb web(51);
+  web.AddHtmlPage("http://s/p.html");
+  FaultPlan plan = SingleFaultPlan(FetchFault::kDisappeared);
+  plan.permanent_disappear_rate = 1.0;
+  web.SetFaultPlan(plan);
+  EXPECT_EQ(web.Urls().size(), 1u);
+  web.Step();
+  EXPECT_TRUE(web.IsPermanentlyGone("http://s/p.html"));
+  EXPECT_TRUE(web.Urls().empty());
+  for (int step = 0; step < 5; ++step) {
+    EXPECT_TRUE(web.Fetch("http://s/p.html").status().IsNotFound());
+    web.Step();
+  }
+  EXPECT_TRUE(web.IsPermanentlyGone("http://s/p.html"));
 }
 
 // ---------------------------------------------------------------- Crawler --
@@ -189,8 +329,11 @@ TEST(CrawlerTest, VanishedPagesAreForgotten) {
   Crawler crawler(&web, kDay);
   crawler.DiscoverAll(0);
   web.RemovePage("http://s/gone.html");
+  // A 404 on first contact: the URL never existed for us — forget it.
   EXPECT_EQ(crawler.FetchNext(0), std::nullopt);
   EXPECT_EQ(crawler.known_urls(), 0u);
+  EXPECT_EQ(crawler.stats().urls_forgotten, 1u);
+  EXPECT_TRUE(crawler.TakeEvents().empty());  // No disappearance episode.
 }
 
 TEST(CrawlerTest, LateDiscoveryAddsNewUrlsOnly) {
@@ -205,6 +348,195 @@ TEST(CrawlerTest, LateDiscoveryAddsNewUrlsOnly) {
   auto due = crawler.FetchAllDue(kHour);
   ASSERT_EQ(due.size(), 1u);
   EXPECT_EQ(due[0].url, "http://s/new.html");
+}
+
+// ----------------------------------------------------- Crawler resilience --
+
+TEST(CrawlerResilienceTest, TransientFailureBacksOffQuarantinesAndRecovers) {
+  const std::string url = "http://s/flaky.html";
+  SyntheticWeb web(61);
+  web.AddHtmlPage(url);
+  web.SetFaultPlan(SingleFaultPlan(FetchFault::kTimeout, /*steps=*/1));
+
+  CrawlerOptions options;
+  options.default_period = kDay;
+  options.retry_base_delay = 5 * kMinute;
+  options.retry_max_delay = 2 * kHour;
+  options.quarantine_threshold = 2;
+  options.quarantine_probe_period = kDay;
+  Crawler crawler(&web, options);
+  crawler.DiscoverAll(0);
+  ASSERT_EQ(crawler.FetchAllDue(0).size(), 1u);  // Healthy first contact.
+
+  web.Step();  // Timeout episode begins (lasts until the next Step).
+
+  // Failure #1 at the scheduled refresh: a backoff retry, not a quarantine.
+  EXPECT_TRUE(crawler.FetchAllDue(kDay).empty());
+  EXPECT_EQ(crawler.stats().timeouts, 1u);
+  EXPECT_EQ(crawler.stats().retries_scheduled, 1u);
+  ASSERT_TRUE(crawler.NextDue(url).has_value());
+  Timestamp retry_at = *crawler.NextDue(url);
+  EXPECT_GT(retry_at, kDay);
+  // delay = base + jitter, jitter <= base/2.
+  EXPECT_LE(retry_at, kDay + options.retry_base_delay +
+                          options.retry_base_delay / 2);
+
+  // Failure #2 crosses the threshold: the circuit opens.
+  EXPECT_TRUE(crawler.FetchAllDue(retry_at).empty());
+  EXPECT_TRUE(crawler.IsQuarantined(url));
+  EXPECT_EQ(crawler.quarantined_count(), 1u);
+  EXPECT_EQ(crawler.stats().quarantines_opened, 1u);
+  Timestamp probe_at = *crawler.NextDue(url);
+  EXPECT_EQ(probe_at, retry_at + options.quarantine_probe_period);
+
+  web.Step();  // Episode expires; the page is healthy again.
+
+  // The slow probe succeeds and closes the circuit.
+  auto docs = crawler.FetchAllDue(probe_at);
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_EQ(docs[0].url, url);
+  EXPECT_FALSE(crawler.IsQuarantined(url));
+  EXPECT_EQ(crawler.quarantined_count(), 0u);
+  EXPECT_EQ(crawler.stats().quarantines_closed, 1u);
+  // Back on the normal schedule.
+  EXPECT_EQ(*crawler.NextDue(url), probe_at + options.default_period);
+}
+
+TEST(CrawlerResilienceTest, BackoffDelayDoublesUpToCap) {
+  const std::string url = "http://s/down.html";
+  SyntheticWeb web(71);
+  web.AddHtmlPage(url);
+  // One long episode so every retry keeps failing.
+  web.SetFaultPlan(SingleFaultPlan(FetchFault::kServerError, /*steps=*/50));
+
+  CrawlerOptions options;
+  options.retry_base_delay = 5 * kMinute;
+  options.retry_max_delay = 2 * kHour;
+  options.quarantine_threshold = 100;  // Keep the circuit closed.
+  Crawler crawler(&web, options);
+  crawler.DiscoverAll(0);
+  ASSERT_EQ(crawler.FetchAllDue(0).size(), 1u);
+  web.Step();
+
+  Timestamp now = kDay;
+  Timestamp expected = options.retry_base_delay;
+  for (uint32_t failure = 1; failure <= 8; ++failure) {
+    EXPECT_TRUE(crawler.FetchAllDue(now).empty());
+    Timestamp next = *crawler.NextDue(url);
+    Timestamp delay = next - now;
+    EXPECT_GE(delay, expected) << "failure " << failure;
+    EXPECT_LE(delay, expected + expected / 2) << "failure " << failure;
+    now = next;
+    expected = std::min(expected * 2, options.retry_max_delay);
+  }
+  EXPECT_EQ(crawler.stats().server_errors, 8u);
+  EXPECT_EQ(crawler.stats().retries_scheduled, 8u);
+}
+
+TEST(CrawlerResilienceTest, DisappearReappearEmitsOneEventPerTransition) {
+  const std::string url = "http://s/blinky.html";
+  SyntheticWeb web(81);
+  web.AddHtmlPage(url);
+  web.SetFaultPlan(SingleFaultPlan(FetchFault::kDisappeared, /*steps=*/1));
+
+  CrawlerOptions options;
+  options.quarantine_probe_period = kDay;
+  Crawler crawler(&web, options);
+  crawler.DiscoverAll(0);
+  ASSERT_EQ(crawler.FetchAllDue(0).size(), 1u);
+  web.Step();  // The page disappears.
+
+  EXPECT_TRUE(crawler.FetchAllDue(kDay).empty());
+  EXPECT_TRUE(crawler.IsMissing(url));
+  EXPECT_EQ(crawler.missing_count(), 1u);
+  EXPECT_EQ(crawler.known_urls(), 1u);  // Kept: it was fetched before.
+
+  web.Step();  // The page comes back.
+  ASSERT_EQ(crawler.FetchAllDue(2 * kDay).size(), 1u);
+  EXPECT_FALSE(crawler.IsMissing(url));
+
+  auto events = crawler.TakeEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, DocStatusEvent::Kind::kDisappeared);
+  EXPECT_EQ(events[0].url, url);
+  EXPECT_EQ(events[0].time, kDay);
+  EXPECT_EQ(events[1].kind, DocStatusEvent::Kind::kReappeared);
+  EXPECT_EQ(events[1].time, 2 * kDay);
+  EXPECT_TRUE(crawler.TakeEvents().empty());  // Drained.
+  EXPECT_EQ(crawler.stats().disappeared_events, 1u);
+  EXPECT_EQ(crawler.stats().reappeared_events, 1u);
+}
+
+TEST(CrawlerResilienceTest, PermanentlyGonePageIsForgottenAfterProbes) {
+  const std::string url = "http://s/dead.html";
+  SyntheticWeb web(91);
+  web.AddHtmlPage(url);
+  FaultPlan plan = SingleFaultPlan(FetchFault::kDisappeared);
+  plan.permanent_disappear_rate = 1.0;
+  web.SetFaultPlan(plan);
+
+  CrawlerOptions options;
+  options.quarantine_probe_period = kDay;
+  options.forget_after_missing_probes = 3;
+  Crawler crawler(&web, options);
+  crawler.DiscoverAll(0);
+  ASSERT_EQ(crawler.FetchAllDue(0).size(), 1u);
+  web.Step();  // Gone for good.
+
+  for (int probe = 1; probe <= 3; ++probe) {
+    EXPECT_TRUE(crawler.FetchAllDue(probe * kDay).empty());
+  }
+  EXPECT_EQ(crawler.known_urls(), 0u);
+  EXPECT_EQ(crawler.missing_count(), 0u);
+  EXPECT_EQ(crawler.stats().urls_forgotten, 1u);
+  auto events = crawler.TakeEvents();
+  ASSERT_EQ(events.size(), 1u);  // One disappearance, never a reappearance.
+  EXPECT_EQ(events[0].kind, DocStatusEvent::Kind::kDisappeared);
+}
+
+TEST(CrawlerResilienceTest, FirstContactTimeoutIsRetriedNotForgotten) {
+  const std::string url = "http://s/warming-up.html";
+  SyntheticWeb web(101);
+  web.AddHtmlPage(url);
+  web.SetFaultPlan(SingleFaultPlan(FetchFault::kTimeout, /*steps=*/1));
+  web.Step();  // Faulty before the crawler ever reaches it.
+
+  Crawler crawler(&web, CrawlerOptions{});
+  crawler.DiscoverAll(0);
+  EXPECT_TRUE(crawler.FetchAllDue(0).empty());
+  // Unlike a first-contact 404, a timeout keeps the URL (it exists, the
+  // server is just struggling) and schedules a retry.
+  EXPECT_EQ(crawler.known_urls(), 1u);
+  EXPECT_EQ(crawler.stats().retries_scheduled, 1u);
+}
+
+TEST(CrawlerResilienceTest, FetchAllDueAttemptsEachUrlOncePerRound) {
+  // Regression: with a zero backoff a failing URL is rescheduled for `now`;
+  // the round must not re-fetch it (or spin forever) — one attempt per URL
+  // per round.
+  SyntheticWeb web(111);
+  web.AddHtmlPage("http://s/bad.html");
+  web.SetFaultPlan(SingleFaultPlan(FetchFault::kTimeout, /*steps=*/50));
+  web.Step();  // bad.html enters its long timeout episode.
+  for (int i = 0; i < 3; ++i) {
+    // Added after the Step: healthy until the next Step (which never comes).
+    web.AddHtmlPage("http://ok.example.org/p" + std::to_string(i) + ".html");
+  }
+
+  CrawlerOptions options;
+  options.retry_base_delay = 0;  // Zero backoff: reschedule for `now`.
+  options.retry_max_delay = 0;
+  options.quarantine_threshold = 100;
+  Crawler crawler(&web, options);
+  crawler.DiscoverAll(0);
+  auto docs = crawler.FetchAllDue(0);
+  EXPECT_EQ(docs.size(), 3u);  // The healthy trio.
+  // Exactly one attempt for the failing page in this round.
+  EXPECT_EQ(crawler.stats().fetch_attempts, 4u);
+  EXPECT_EQ(*crawler.NextDue("http://s/bad.html"), 0);
+  // The next round tries it exactly once more.
+  EXPECT_TRUE(crawler.FetchAllDue(0).empty());
+  EXPECT_EQ(crawler.stats().fetch_attempts, 5u);
 }
 
 }  // namespace
