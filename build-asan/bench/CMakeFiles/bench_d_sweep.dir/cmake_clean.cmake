@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_d_sweep.dir/bench_d_sweep.cpp.o"
+  "CMakeFiles/bench_d_sweep.dir/bench_d_sweep.cpp.o.d"
+  "bench_d_sweep"
+  "bench_d_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_d_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

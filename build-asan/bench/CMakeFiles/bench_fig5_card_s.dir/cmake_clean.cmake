@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_card_s.dir/bench_fig5_card_s.cpp.o"
+  "CMakeFiles/bench_fig5_card_s.dir/bench_fig5_card_s.cpp.o.d"
+  "bench_fig5_card_s"
+  "bench_fig5_card_s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_card_s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_log_k.dir/bench_fig6_log_k.cpp.o"
+  "CMakeFiles/bench_fig6_log_k.dir/bench_fig6_log_k.cpp.o.d"
+  "bench_fig6_log_k"
+  "bench_fig6_log_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_log_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reporter.dir/bench_reporter.cpp.o"
+  "CMakeFiles/bench_reporter.dir/bench_reporter.cpp.o.d"
+  "bench_reporter"
+  "bench_reporter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reporter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

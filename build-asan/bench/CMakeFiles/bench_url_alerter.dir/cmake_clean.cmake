@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_url_alerter.dir/bench_url_alerter.cpp.o"
+  "CMakeFiles/bench_url_alerter.dir/bench_url_alerter.cpp.o.d"
+  "bench_url_alerter"
+  "bench_url_alerter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_url_alerter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_url_alerter.
+# This may be replaced when dependencies are built.

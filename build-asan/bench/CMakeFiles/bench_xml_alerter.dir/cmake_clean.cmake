@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xml_alerter.dir/bench_xml_alerter.cpp.o"
+  "CMakeFiles/bench_xml_alerter.dir/bench_xml_alerter.cpp.o.d"
+  "bench_xml_alerter"
+  "bench_xml_alerter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xml_alerter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

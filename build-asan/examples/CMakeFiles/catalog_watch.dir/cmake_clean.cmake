@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_watch.dir/catalog_watch.cpp.o"
+  "CMakeFiles/catalog_watch.dir/catalog_watch.cpp.o.d"
+  "catalog_watch"
+  "catalog_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

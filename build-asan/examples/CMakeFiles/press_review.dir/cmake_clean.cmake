@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/press_review.dir/press_review.cpp.o"
+  "CMakeFiles/press_review.dir/press_review.cpp.o.d"
+  "press_review"
+  "press_review.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/press_review.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/site_monitor.dir/site_monitor.cpp.o"
+  "CMakeFiles/site_monitor.dir/site_monitor.cpp.o.d"
+  "site_monitor"
+  "site_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/site_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_travel.dir/time_travel.cpp.o"
+  "CMakeFiles/time_travel.dir/time_travel.cpp.o.d"
+  "time_travel"
+  "time_travel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_travel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

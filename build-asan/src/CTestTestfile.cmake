@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("xml")
+subdirs("storage")
+subdirs("xmldiff")
+subdirs("warehouse")
+subdirs("query")
+subdirs("mqp")
+subdirs("alerters")
+subdirs("sublang")
+subdirs("trigger")
+subdirs("reporter")
+subdirs("manager")
+subdirs("webstub")
+subdirs("system")

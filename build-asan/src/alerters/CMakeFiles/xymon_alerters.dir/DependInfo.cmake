@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alerters/condition.cc" "src/alerters/CMakeFiles/xymon_alerters.dir/condition.cc.o" "gcc" "src/alerters/CMakeFiles/xymon_alerters.dir/condition.cc.o.d"
+  "/root/repo/src/alerters/html_alerter.cc" "src/alerters/CMakeFiles/xymon_alerters.dir/html_alerter.cc.o" "gcc" "src/alerters/CMakeFiles/xymon_alerters.dir/html_alerter.cc.o.d"
+  "/root/repo/src/alerters/pipeline.cc" "src/alerters/CMakeFiles/xymon_alerters.dir/pipeline.cc.o" "gcc" "src/alerters/CMakeFiles/xymon_alerters.dir/pipeline.cc.o.d"
+  "/root/repo/src/alerters/prefix_matcher.cc" "src/alerters/CMakeFiles/xymon_alerters.dir/prefix_matcher.cc.o" "gcc" "src/alerters/CMakeFiles/xymon_alerters.dir/prefix_matcher.cc.o.d"
+  "/root/repo/src/alerters/url_alerter.cc" "src/alerters/CMakeFiles/xymon_alerters.dir/url_alerter.cc.o" "gcc" "src/alerters/CMakeFiles/xymon_alerters.dir/url_alerter.cc.o.d"
+  "/root/repo/src/alerters/xml_alerter.cc" "src/alerters/CMakeFiles/xymon_alerters.dir/xml_alerter.cc.o" "gcc" "src/alerters/CMakeFiles/xymon_alerters.dir/xml_alerter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/warehouse/CMakeFiles/xymon_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mqp/CMakeFiles/xymon_mqp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xmldiff/CMakeFiles/xymon_xmldiff.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xml/CMakeFiles/xymon_xml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/xymon_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/storage/CMakeFiles/xymon_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xymon_alerters.dir/condition.cc.o"
+  "CMakeFiles/xymon_alerters.dir/condition.cc.o.d"
+  "CMakeFiles/xymon_alerters.dir/html_alerter.cc.o"
+  "CMakeFiles/xymon_alerters.dir/html_alerter.cc.o.d"
+  "CMakeFiles/xymon_alerters.dir/pipeline.cc.o"
+  "CMakeFiles/xymon_alerters.dir/pipeline.cc.o.d"
+  "CMakeFiles/xymon_alerters.dir/prefix_matcher.cc.o"
+  "CMakeFiles/xymon_alerters.dir/prefix_matcher.cc.o.d"
+  "CMakeFiles/xymon_alerters.dir/url_alerter.cc.o"
+  "CMakeFiles/xymon_alerters.dir/url_alerter.cc.o.d"
+  "CMakeFiles/xymon_alerters.dir/xml_alerter.cc.o"
+  "CMakeFiles/xymon_alerters.dir/xml_alerter.cc.o.d"
+  "libxymon_alerters.a"
+  "libxymon_alerters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xymon_alerters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xymon_common.dir/clock.cc.o"
+  "CMakeFiles/xymon_common.dir/clock.cc.o.d"
+  "CMakeFiles/xymon_common.dir/status.cc.o"
+  "CMakeFiles/xymon_common.dir/status.cc.o.d"
+  "CMakeFiles/xymon_common.dir/string_util.cc.o"
+  "CMakeFiles/xymon_common.dir/string_util.cc.o.d"
+  "libxymon_common.a"
+  "libxymon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xymon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xymon_manager.dir/subscription_manager.cc.o"
+  "CMakeFiles/xymon_manager.dir/subscription_manager.cc.o.d"
+  "CMakeFiles/xymon_manager.dir/user_registry.cc.o"
+  "CMakeFiles/xymon_manager.dir/user_registry.cc.o.d"
+  "libxymon_manager.a"
+  "libxymon_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xymon_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

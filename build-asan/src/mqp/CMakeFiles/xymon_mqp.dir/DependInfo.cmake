@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mqp/aes_matcher.cc" "src/mqp/CMakeFiles/xymon_mqp.dir/aes_matcher.cc.o" "gcc" "src/mqp/CMakeFiles/xymon_mqp.dir/aes_matcher.cc.o.d"
+  "/root/repo/src/mqp/brute_matcher.cc" "src/mqp/CMakeFiles/xymon_mqp.dir/brute_matcher.cc.o" "gcc" "src/mqp/CMakeFiles/xymon_mqp.dir/brute_matcher.cc.o.d"
+  "/root/repo/src/mqp/counting_matcher.cc" "src/mqp/CMakeFiles/xymon_mqp.dir/counting_matcher.cc.o" "gcc" "src/mqp/CMakeFiles/xymon_mqp.dir/counting_matcher.cc.o.d"
+  "/root/repo/src/mqp/map_aes_matcher.cc" "src/mqp/CMakeFiles/xymon_mqp.dir/map_aes_matcher.cc.o" "gcc" "src/mqp/CMakeFiles/xymon_mqp.dir/map_aes_matcher.cc.o.d"
+  "/root/repo/src/mqp/parallel_pool.cc" "src/mqp/CMakeFiles/xymon_mqp.dir/parallel_pool.cc.o" "gcc" "src/mqp/CMakeFiles/xymon_mqp.dir/parallel_pool.cc.o.d"
+  "/root/repo/src/mqp/processor.cc" "src/mqp/CMakeFiles/xymon_mqp.dir/processor.cc.o" "gcc" "src/mqp/CMakeFiles/xymon_mqp.dir/processor.cc.o.d"
+  "/root/repo/src/mqp/workload.cc" "src/mqp/CMakeFiles/xymon_mqp.dir/workload.cc.o" "gcc" "src/mqp/CMakeFiles/xymon_mqp.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/xymon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

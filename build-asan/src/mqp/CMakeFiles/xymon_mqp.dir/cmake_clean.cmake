@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xymon_mqp.dir/aes_matcher.cc.o"
+  "CMakeFiles/xymon_mqp.dir/aes_matcher.cc.o.d"
+  "CMakeFiles/xymon_mqp.dir/brute_matcher.cc.o"
+  "CMakeFiles/xymon_mqp.dir/brute_matcher.cc.o.d"
+  "CMakeFiles/xymon_mqp.dir/counting_matcher.cc.o"
+  "CMakeFiles/xymon_mqp.dir/counting_matcher.cc.o.d"
+  "CMakeFiles/xymon_mqp.dir/map_aes_matcher.cc.o"
+  "CMakeFiles/xymon_mqp.dir/map_aes_matcher.cc.o.d"
+  "CMakeFiles/xymon_mqp.dir/parallel_pool.cc.o"
+  "CMakeFiles/xymon_mqp.dir/parallel_pool.cc.o.d"
+  "CMakeFiles/xymon_mqp.dir/processor.cc.o"
+  "CMakeFiles/xymon_mqp.dir/processor.cc.o.d"
+  "CMakeFiles/xymon_mqp.dir/workload.cc.o"
+  "CMakeFiles/xymon_mqp.dir/workload.cc.o.d"
+  "libxymon_mqp.a"
+  "libxymon_mqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xymon_mqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/delta_tracker.cc" "src/query/CMakeFiles/xymon_query.dir/delta_tracker.cc.o" "gcc" "src/query/CMakeFiles/xymon_query.dir/delta_tracker.cc.o.d"
+  "/root/repo/src/query/engine.cc" "src/query/CMakeFiles/xymon_query.dir/engine.cc.o" "gcc" "src/query/CMakeFiles/xymon_query.dir/engine.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/query/CMakeFiles/xymon_query.dir/query.cc.o" "gcc" "src/query/CMakeFiles/xymon_query.dir/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/warehouse/CMakeFiles/xymon_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xmldiff/CMakeFiles/xymon_xmldiff.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xml/CMakeFiles/xymon_xml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/xymon_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/storage/CMakeFiles/xymon_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

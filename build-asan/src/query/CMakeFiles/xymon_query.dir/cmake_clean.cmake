@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xymon_query.dir/delta_tracker.cc.o"
+  "CMakeFiles/xymon_query.dir/delta_tracker.cc.o.d"
+  "CMakeFiles/xymon_query.dir/engine.cc.o"
+  "CMakeFiles/xymon_query.dir/engine.cc.o.d"
+  "CMakeFiles/xymon_query.dir/query.cc.o"
+  "CMakeFiles/xymon_query.dir/query.cc.o.d"
+  "libxymon_query.a"
+  "libxymon_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xymon_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxymon_query.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xymon_reporter.dir/outbox.cc.o"
+  "CMakeFiles/xymon_reporter.dir/outbox.cc.o.d"
+  "CMakeFiles/xymon_reporter.dir/reporter.cc.o"
+  "CMakeFiles/xymon_reporter.dir/reporter.cc.o.d"
+  "CMakeFiles/xymon_reporter.dir/web_portal.cc.o"
+  "CMakeFiles/xymon_reporter.dir/web_portal.cc.o.d"
+  "libxymon_reporter.a"
+  "libxymon_reporter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xymon_reporter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xymon_storage.dir/log_store.cc.o"
+  "CMakeFiles/xymon_storage.dir/log_store.cc.o.d"
+  "CMakeFiles/xymon_storage.dir/persistent_map.cc.o"
+  "CMakeFiles/xymon_storage.dir/persistent_map.cc.o.d"
+  "libxymon_storage.a"
+  "libxymon_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xymon_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sublang/ast.cc" "src/sublang/CMakeFiles/xymon_sublang.dir/ast.cc.o" "gcc" "src/sublang/CMakeFiles/xymon_sublang.dir/ast.cc.o.d"
+  "/root/repo/src/sublang/cost_model.cc" "src/sublang/CMakeFiles/xymon_sublang.dir/cost_model.cc.o" "gcc" "src/sublang/CMakeFiles/xymon_sublang.dir/cost_model.cc.o.d"
+  "/root/repo/src/sublang/parser.cc" "src/sublang/CMakeFiles/xymon_sublang.dir/parser.cc.o" "gcc" "src/sublang/CMakeFiles/xymon_sublang.dir/parser.cc.o.d"
+  "/root/repo/src/sublang/template.cc" "src/sublang/CMakeFiles/xymon_sublang.dir/template.cc.o" "gcc" "src/sublang/CMakeFiles/xymon_sublang.dir/template.cc.o.d"
+  "/root/repo/src/sublang/validator.cc" "src/sublang/CMakeFiles/xymon_sublang.dir/validator.cc.o" "gcc" "src/sublang/CMakeFiles/xymon_sublang.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/alerters/CMakeFiles/xymon_alerters.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xml/CMakeFiles/xymon_xml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/xymon_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/warehouse/CMakeFiles/xymon_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/storage/CMakeFiles/xymon_storage.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mqp/CMakeFiles/xymon_mqp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xmldiff/CMakeFiles/xymon_xmldiff.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xymon_sublang.dir/ast.cc.o"
+  "CMakeFiles/xymon_sublang.dir/ast.cc.o.d"
+  "CMakeFiles/xymon_sublang.dir/cost_model.cc.o"
+  "CMakeFiles/xymon_sublang.dir/cost_model.cc.o.d"
+  "CMakeFiles/xymon_sublang.dir/parser.cc.o"
+  "CMakeFiles/xymon_sublang.dir/parser.cc.o.d"
+  "CMakeFiles/xymon_sublang.dir/template.cc.o"
+  "CMakeFiles/xymon_sublang.dir/template.cc.o.d"
+  "CMakeFiles/xymon_sublang.dir/validator.cc.o"
+  "CMakeFiles/xymon_sublang.dir/validator.cc.o.d"
+  "libxymon_sublang.a"
+  "libxymon_sublang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xymon_sublang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xymon_system.dir/monitor.cc.o"
+  "CMakeFiles/xymon_system.dir/monitor.cc.o.d"
+  "libxymon_system.a"
+  "libxymon_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xymon_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

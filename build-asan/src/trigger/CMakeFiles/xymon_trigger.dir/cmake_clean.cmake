@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xymon_trigger.dir/trigger_engine.cc.o"
+  "CMakeFiles/xymon_trigger.dir/trigger_engine.cc.o.d"
+  "libxymon_trigger.a"
+  "libxymon_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xymon_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/warehouse/domain_classifier.cc" "src/warehouse/CMakeFiles/xymon_warehouse.dir/domain_classifier.cc.o" "gcc" "src/warehouse/CMakeFiles/xymon_warehouse.dir/domain_classifier.cc.o.d"
+  "/root/repo/src/warehouse/version_chain.cc" "src/warehouse/CMakeFiles/xymon_warehouse.dir/version_chain.cc.o" "gcc" "src/warehouse/CMakeFiles/xymon_warehouse.dir/version_chain.cc.o.d"
+  "/root/repo/src/warehouse/warehouse.cc" "src/warehouse/CMakeFiles/xymon_warehouse.dir/warehouse.cc.o" "gcc" "src/warehouse/CMakeFiles/xymon_warehouse.dir/warehouse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/xmldiff/CMakeFiles/xymon_xmldiff.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/storage/CMakeFiles/xymon_storage.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xml/CMakeFiles/xymon_xml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/xymon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

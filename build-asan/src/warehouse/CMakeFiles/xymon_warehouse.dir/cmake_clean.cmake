@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xymon_warehouse.dir/domain_classifier.cc.o"
+  "CMakeFiles/xymon_warehouse.dir/domain_classifier.cc.o.d"
+  "CMakeFiles/xymon_warehouse.dir/version_chain.cc.o"
+  "CMakeFiles/xymon_warehouse.dir/version_chain.cc.o.d"
+  "CMakeFiles/xymon_warehouse.dir/warehouse.cc.o"
+  "CMakeFiles/xymon_warehouse.dir/warehouse.cc.o.d"
+  "libxymon_warehouse.a"
+  "libxymon_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xymon_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

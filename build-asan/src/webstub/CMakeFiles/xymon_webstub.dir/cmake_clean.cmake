@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xymon_webstub.dir/crawler.cc.o"
+  "CMakeFiles/xymon_webstub.dir/crawler.cc.o.d"
+  "CMakeFiles/xymon_webstub.dir/synthetic_web.cc.o"
+  "CMakeFiles/xymon_webstub.dir/synthetic_web.cc.o.d"
+  "libxymon_webstub.a"
+  "libxymon_webstub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xymon_webstub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xymon_xml.dir/codec.cc.o"
+  "CMakeFiles/xymon_xml.dir/codec.cc.o.d"
+  "CMakeFiles/xymon_xml.dir/dom.cc.o"
+  "CMakeFiles/xymon_xml.dir/dom.cc.o.d"
+  "CMakeFiles/xymon_xml.dir/parser.cc.o"
+  "CMakeFiles/xymon_xml.dir/parser.cc.o.d"
+  "CMakeFiles/xymon_xml.dir/serializer.cc.o"
+  "CMakeFiles/xymon_xml.dir/serializer.cc.o.d"
+  "libxymon_xml.a"
+  "libxymon_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xymon_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

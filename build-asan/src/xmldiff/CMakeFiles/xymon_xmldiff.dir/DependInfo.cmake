@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xmldiff/delta.cc" "src/xmldiff/CMakeFiles/xymon_xmldiff.dir/delta.cc.o" "gcc" "src/xmldiff/CMakeFiles/xymon_xmldiff.dir/delta.cc.o.d"
+  "/root/repo/src/xmldiff/diff.cc" "src/xmldiff/CMakeFiles/xymon_xmldiff.dir/diff.cc.o" "gcc" "src/xmldiff/CMakeFiles/xymon_xmldiff.dir/diff.cc.o.d"
+  "/root/repo/src/xmldiff/xid.cc" "src/xmldiff/CMakeFiles/xymon_xmldiff.dir/xid.cc.o" "gcc" "src/xmldiff/CMakeFiles/xymon_xmldiff.dir/xid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/xml/CMakeFiles/xymon_xml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/xymon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

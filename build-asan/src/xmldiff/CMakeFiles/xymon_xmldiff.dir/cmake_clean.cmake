@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xymon_xmldiff.dir/delta.cc.o"
+  "CMakeFiles/xymon_xmldiff.dir/delta.cc.o.d"
+  "CMakeFiles/xymon_xmldiff.dir/diff.cc.o"
+  "CMakeFiles/xymon_xmldiff.dir/diff.cc.o.d"
+  "CMakeFiles/xymon_xmldiff.dir/xid.cc.o"
+  "CMakeFiles/xymon_xmldiff.dir/xid.cc.o.d"
+  "libxymon_xmldiff.a"
+  "libxymon_xmldiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xymon_xmldiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alerters_test.dir/alerters_test.cpp.o"
+  "CMakeFiles/alerters_test.dir/alerters_test.cpp.o.d"
+  "alerters_test"
+  "alerters_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alerters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

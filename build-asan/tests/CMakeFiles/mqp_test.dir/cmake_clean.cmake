@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqp_test.dir/mqp_test.cpp.o"
+  "CMakeFiles/mqp_test.dir/mqp_test.cpp.o.d"
+  "mqp_test"
+  "mqp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

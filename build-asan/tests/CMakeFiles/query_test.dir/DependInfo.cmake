@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/query_test.cpp" "tests/CMakeFiles/query_test.dir/query_test.cpp.o" "gcc" "tests/CMakeFiles/query_test.dir/query_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/system/CMakeFiles/xymon_system.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/manager/CMakeFiles/xymon_manager.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/webstub/CMakeFiles/xymon_webstub.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/reporter/CMakeFiles/xymon_reporter.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/trigger/CMakeFiles/xymon_trigger.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sublang/CMakeFiles/xymon_sublang.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/alerters/CMakeFiles/xymon_alerters.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mqp/CMakeFiles/xymon_mqp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/query/CMakeFiles/xymon_query.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/warehouse/CMakeFiles/xymon_warehouse.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xmldiff/CMakeFiles/xymon_xmldiff.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/storage/CMakeFiles/xymon_storage.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xml/CMakeFiles/xymon_xml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/xymon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

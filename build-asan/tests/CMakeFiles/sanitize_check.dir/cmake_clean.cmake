@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sanitize_check"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/sanitize_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

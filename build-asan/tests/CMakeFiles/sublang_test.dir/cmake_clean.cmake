@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sublang_test.dir/sublang_test.cpp.o"
+  "CMakeFiles/sublang_test.dir/sublang_test.cpp.o.d"
+  "sublang_test"
+  "sublang_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sublang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trigger_reporter_test.dir/trigger_reporter_test.cpp.o"
+  "CMakeFiles/trigger_reporter_test.dir/trigger_reporter_test.cpp.o.d"
+  "trigger_reporter_test"
+  "trigger_reporter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trigger_reporter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_test.dir/warehouse_test.cpp.o"
+  "CMakeFiles/warehouse_test.dir/warehouse_test.cpp.o.d"
+  "warehouse_test"
+  "warehouse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webstub_test.dir/webstub_test.cpp.o"
+  "CMakeFiles/webstub_test.dir/webstub_test.cpp.o.d"
+  "webstub_test"
+  "webstub_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webstub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

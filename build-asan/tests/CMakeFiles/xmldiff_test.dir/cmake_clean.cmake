@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmldiff_test.dir/xmldiff_test.cpp.o"
+  "CMakeFiles/xmldiff_test.dir/xmldiff_test.cpp.o.d"
+  "xmldiff_test"
+  "xmldiff_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmldiff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
