@@ -371,6 +371,19 @@ Status SubscriptionManager::Modify(const std::string& name,
   return installed.status();
 }
 
+std::vector<std::string> SubscriptionManager::subscription_names() const {
+  std::vector<std::string> names;
+  names.reserve(subs_.size());
+  for (const auto& [name, record] : subs_) names.push_back(name);
+  return names;
+}
+
+const std::string* SubscriptionManager::subscription_text(
+    const std::string& name) const {
+  auto it = subs_.find(name);
+  return it == subs_.end() ? nullptr : &it->second.text;
+}
+
 const QueryBinding* SubscriptionManager::FindBinding(
     mqp::ComplexEventId id) const {
   auto it = bindings_.find(id);

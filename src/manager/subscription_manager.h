@@ -74,6 +74,13 @@ class SubscriptionManager {
   Status AttachStorage(const std::string& path,
                        const storage::LogStore::Options& log_options = {});
 
+  /// Atomically compacts the recovery log to one record per live
+  /// subscription (no-op without AttachStorage). Crash-safe: see
+  /// PersistentMap::Checkpoint.
+  Status CheckpointStorage() {
+    return store_.has_value() ? store_->Checkpoint() : Status::OK();
+  }
+
   /// Parses, validates and activates a subscription; returns its name.
   Result<std::string> Subscribe(const std::string& text,
                                 const std::string& email);
@@ -111,6 +118,14 @@ class SubscriptionManager {
 
   size_t subscription_count() const { return subs_.size(); }
   size_t atomic_event_count() const { return codes_.size(); }
+
+  /// Names of all live subscriptions, sorted. With subscription_text this
+  /// lets the crash sweep rebuild a from-scratch monitor and compare its
+  /// MQP hash tree against the recovered one.
+  std::vector<std::string> subscription_names() const;
+
+  /// Source text of a live subscription; nullptr if unknown.
+  const std::string* subscription_text(const std::string& name) const;
 
   /// Refresh hints ("refresh URL weekly") for the crawler: url -> period.
   const std::map<std::string, Timestamp>& refresh_hints() const {

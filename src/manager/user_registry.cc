@@ -22,8 +22,9 @@ std::optional<User> UserRegistry::Decode(const std::string& name,
   return user;
 }
 
-Status UserRegistry::AttachStorage(const std::string& path) {
-  auto store = storage::PersistentMap::Open(path);
+Status UserRegistry::AttachStorage(
+    const std::string& path, const storage::LogStore::Options& log_options) {
+  auto store = storage::PersistentMap::Open(path, log_options);
   if (!store.ok()) return store.status();
   store_ = std::move(store).value();
   for (const auto& [name, record] : store_->data()) {

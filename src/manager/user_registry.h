@@ -25,8 +25,15 @@ struct User {
 /// via AttachStorage.
 class UserRegistry {
  public:
-  /// Opens the durable store and recovers existing accounts.
-  Status AttachStorage(const std::string& path);
+  /// Opens the durable store and recovers existing accounts. `log_options`
+  /// tunes durability and supplies the Env (see LogStore::Options).
+  Status AttachStorage(const std::string& path,
+                       const storage::LogStore::Options& log_options = {});
+
+  /// Atomically compacts the backing store (no-op without AttachStorage).
+  Status CheckpointStorage() {
+    return store_.has_value() ? store_->Checkpoint() : Status::OK();
+  }
 
   Status AddUser(const User& user);
   Status RemoveUser(const std::string& name);

@@ -3,10 +3,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/storage/persistent_map.h"
 
 namespace xymon::reporter {
 
@@ -18,6 +21,10 @@ struct Email {
   Timestamp time = 0;
   /// Delivery attempts made so far (maintained by the Outbox retry loop).
   uint32_t attempts = 0;
+  /// Monotonic delivery sequence number, assigned by the Outbox at Send
+  /// time and never reused (persisted across restarts). Receivers can
+  /// dedup at-least-once redelivery on (to, seq).
+  uint64_t seq = 0;
 };
 
 /// The UNIX sendmail substitute. The paper's Reporter "supports hundreds of
@@ -30,6 +37,12 @@ struct Email {
 /// fault soak simulate delivery errors. A failed e-mail is re-queued and
 /// retried on later Drain calls, up to Options::max_send_attempts, after
 /// which it is dropped and counted in dropped_after_retries().
+///
+/// With AttachStorage the outbox is crash-safe: every e-mail is persisted
+/// before the first delivery attempt and erased once delivered (or given
+/// up on), so a restart re-queues exactly the undelivered backlog. The
+/// acknowledge-after-deliver order makes delivery at-least-once — a crash
+/// between the send and the acknowledgement redelivers, it never loses.
 class Outbox {
  public:
   struct Options {
@@ -48,6 +61,17 @@ class Outbox {
   Outbox() : Outbox(Options{}) {}
   explicit Outbox(const Options& options) : options_(options) {}
 
+  /// Opens the durable backlog at `path`: recovers undelivered e-mails into
+  /// the queue (in seq order) and the seq counter past every number ever
+  /// assigned. `log_options` tunes durability and supplies the Env.
+  Status AttachStorage(const std::string& path,
+                       const storage::LogStore::Options& log_options = {});
+
+  /// Atomically compacts the backing store (no-op without AttachStorage).
+  Status CheckpointStorage() {
+    return store_.has_value() ? store_->Checkpoint() : Status::OK();
+  }
+
   /// Installs the delivery hook (nullptr = always succeeds).
   void set_send_hook(SendHook hook) { send_hook_ = std::move(hook); }
 
@@ -64,6 +88,9 @@ class Outbox {
   uint64_t queued_count() const { return queue_.size(); }
   uint64_t send_failures() const { return send_failures_; }
   uint64_t dropped_after_retries() const { return dropped_after_retries_; }
+  /// E-mails whose durable record could not be written (delivery was still
+  /// attempted; they just won't survive a crash).
+  uint64_t persist_failures() const { return persist_failures_; }
 
   /// Sent messages (empty bodies if keep_bodies is false).
   const std::vector<Email>& sent() const { return sent_; }
@@ -75,14 +102,19 @@ class Outbox {
   void Deliver(Email email);
   /// One delivery attempt; failures re-queue (bounded) or drop.
   void AttemptDelivery(Email email);
+  void PersistPending(const Email& email);
+  void ErasePending(uint64_t seq);
 
   Options options_;
   SendHook send_hook_;
   std::vector<Email> sent_;
   std::vector<Email> queue_;
+  std::optional<storage::PersistentMap> store_;
+  uint64_t next_seq_ = 1;
   uint64_t sent_count_ = 0;
   uint64_t send_failures_ = 0;
   uint64_t dropped_after_retries_ = 0;
+  uint64_t persist_failures_ = 0;
   Timestamp window_start_ = 0;
   uint64_t window_sent_ = 0;
 };

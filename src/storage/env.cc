@@ -1,0 +1,468 @@
+#include "src/storage/env.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace xymon::storage {
+
+std::string DirnameOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+// ---------------------------------------------------------------- PosixEnv --
+
+namespace {
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        return Status::IOError("write failed for " + path_ + ": " +
+                               std::strerror(errno));
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::IOError("fsync failed for " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::IOError("close failed for " + path_);
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixSequentialFile : public SequentialFile {
+ public:
+  PosixSequentialFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+  ~PosixSequentialFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> Read(size_t n, char* scratch) override {
+    ssize_t got = ::read(fd_, scratch, n);
+    if (got < 0) {
+      return Status::IOError("read failed for " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    return static_cast<size_t>(got);
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | (truncate ? O_TRUNC : O_APPEND);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      return Status::IOError("cannot open " + path + ": " +
+                             std::strerror(errno));
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(path, fd));
+  }
+
+  Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::NotFound("cannot open " + path + ": " +
+                              std::strerror(errno));
+    }
+    return std::unique_ptr<SequentialFile>(
+        std::make_unique<PosixSequentialFile>(path, fd));
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return Status::NotFound("cannot stat " + path);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError("rename " + from + " -> " + to + " failed: " +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return Status::IOError("unlink " + path + " failed: " +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::IOError("cannot open dir " + dir + ": " +
+                             std::strerror(errno));
+    }
+    Status st;
+    if (::fsync(fd) != 0) {
+      st = Status::IOError("fsync failed for dir " + dir + ": " +
+                           std::strerror(errno));
+    }
+    ::close(fd);
+    return st;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+// ------------------------------------------------------------------ MemEnv --
+
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(MemEnv* env, std::string path, uint64_t epoch)
+      : env_(env), path_(std::move(path)), epoch_(epoch) {}
+
+  Status Append(std::string_view data) override {
+    XYMON_RETURN_IF_ERROR(Check());
+    env_->files_[path_].unsynced.append(data);
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    XYMON_RETURN_IF_ERROR(Check());
+    MemEnv::FileState& f = env_->files_[path_];
+    f.durable += f.unsynced;
+    f.unsynced.clear();
+    return Status::OK();
+  }
+
+  Status Close() override { return Status::OK(); }
+
+ private:
+  Status Check() const {
+    XYMON_RETURN_IF_ERROR(env_->CheckOnline());
+    if (epoch_ != env_->epoch_) {
+      return Status::IOError("stale file handle for " + path_ +
+                             " (crashed since open)");
+    }
+    if (env_->files_.find(path_) == env_->files_.end()) {
+      return Status::IOError("file " + path_ + " vanished");
+    }
+    return Status::OK();
+  }
+
+  MemEnv* env_;
+  std::string path_;
+  uint64_t epoch_;
+};
+
+class MemSequentialFile : public SequentialFile {
+ public:
+  MemSequentialFile(MemEnv* env, std::string path, uint64_t epoch)
+      : env_(env), path_(std::move(path)), epoch_(epoch) {}
+
+  Result<size_t> Read(size_t n, char* scratch) override {
+    XYMON_RETURN_IF_ERROR(env_->CheckOnline());
+    if (epoch_ != env_->epoch_) {
+      return Status::IOError("stale file handle for " + path_);
+    }
+    auto it = env_->files_.find(path_);
+    if (it == env_->files_.end()) {
+      return Status::IOError("file " + path_ + " vanished");
+    }
+    // A reader sees the OS view: durable plus cached bytes.
+    const MemEnv::FileState& f = it->second;
+    size_t total = f.durable.size() + f.unsynced.size();
+    if (pos_ >= total) return size_t{0};
+    size_t take = std::min(n, total - pos_);
+    for (size_t i = 0; i < take; ++i) {
+      size_t at = pos_ + i;
+      scratch[i] = at < f.durable.size()
+                       ? f.durable[at]
+                       : f.unsynced[at - f.durable.size()];
+    }
+    pos_ += take;
+    return take;
+  }
+
+ private:
+  MemEnv* env_;
+  std::string path_;
+  uint64_t epoch_;
+  size_t pos_ = 0;
+};
+
+Status MemEnv::CheckOnline() const {
+  if (offline_) return Status::IOError("simulated power loss");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  XYMON_RETURN_IF_ERROR(CheckOnline());
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    files_[path] = FileState{};
+    journal_.push_back({MetaOp::Kind::kCreate, path, "", false, {}, {}});
+  } else if (truncate) {
+    it->second.durable.clear();
+    it->second.unsynced.clear();
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<MemWritableFile>(this, path, epoch_));
+}
+
+Result<std::unique_ptr<SequentialFile>> MemEnv::NewSequentialFile(
+    const std::string& path) {
+  XYMON_RETURN_IF_ERROR(CheckOnline());
+  if (files_.find(path) == files_.end()) {
+    return Status::NotFound("no such file " + path);
+  }
+  return std::unique_ptr<SequentialFile>(
+      std::make_unique<MemSequentialFile>(this, path, epoch_));
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  return !offline_ && files_.find(path) != files_.end();
+}
+
+Result<uint64_t> MemEnv::GetFileSize(const std::string& path) {
+  XYMON_RETURN_IF_ERROR(CheckOnline());
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file " + path);
+  return static_cast<uint64_t>(it->second.durable.size() +
+                               it->second.unsynced.size());
+}
+
+Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  XYMON_RETURN_IF_ERROR(CheckOnline());
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no such file " + from);
+  MetaOp op{MetaOp::Kind::kRename, from, to, false, {}, {}};
+  auto dst = files_.find(to);
+  if (dst != files_.end()) {
+    op.had_b = true;
+    op.prev_b = dst->second;
+  }
+  files_[to] = std::move(it->second);
+  files_.erase(from);
+  journal_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status MemEnv::DeleteFile(const std::string& path) {
+  XYMON_RETURN_IF_ERROR(CheckOnline());
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file " + path);
+  journal_.push_back(
+      {MetaOp::Kind::kDelete, path, "", false, {}, std::move(it->second)});
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status MemEnv::SyncDir(const std::string& /*dir*/) {
+  XYMON_RETURN_IF_ERROR(CheckOnline());
+  // Flat namespace: one SyncDir makes all pending metadata durable.
+  journal_.clear();
+  return Status::OK();
+}
+
+void MemEnv::PowerLoss() {
+  // Un-synced metadata first: roll the journal back newest-to-oldest so the
+  // directory reverts to its last SyncDir'd shape.
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    switch (it->kind) {
+      case MetaOp::Kind::kCreate:
+        files_.erase(it->a);
+        break;
+      case MetaOp::Kind::kRename: {
+        auto moved = files_.find(it->b);
+        if (moved != files_.end()) {
+          files_[it->a] = std::move(moved->second);
+          files_.erase(it->b);
+        }
+        if (it->had_b) files_[it->b] = std::move(it->prev_b);
+        break;
+      }
+      case MetaOp::Kind::kDelete:
+        files_[it->a] = std::move(it->deleted);
+        break;
+    }
+  }
+  journal_.clear();
+  // Then the data: every byte not fsync'd is gone.
+  for (auto& [path, f] : files_) {
+    f.unsynced.clear();
+  }
+  ++epoch_;
+  offline_ = true;
+}
+
+std::vector<std::string> MemEnv::ListFiles() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [path, f] : files_) names.push_back(path);
+  return names;
+}
+
+// --------------------------------------------------------------- FaultyEnv --
+
+class FaultyWritableFile : public WritableFile {
+ public:
+  FaultyWritableFile(FaultyEnv* env, std::unique_ptr<WritableFile> inner)
+      : env_(env), inner_(std::move(inner)) {}
+
+  Status Append(std::string_view data) override {
+    XYMON_RETURN_IF_ERROR(env_->BeginOp());
+    if (env_->short_writes_ && !data.empty()) {
+      // Half the record reaches the OS, then the write errors out — the
+      // torn-write case Replay's CRC framing exists for.
+      (void)inner_->Append(data.substr(0, data.size() / 2));
+      return Status::IOError("injected short write");
+    }
+    if (env_->fail_appends_) {
+      return Status::IOError("injected ENOSPC: no space left on device");
+    }
+    return inner_->Append(data);
+  }
+
+  Status Sync() override {
+    XYMON_RETURN_IF_ERROR(env_->BeginOp());
+    if (env_->fail_syncs_) return Status::IOError("injected fsync failure");
+    return inner_->Sync();
+  }
+
+  Status Close() override { return inner_->Close(); }
+
+ private:
+  FaultyEnv* env_;
+  std::unique_ptr<WritableFile> inner_;
+};
+
+class FaultySequentialFile : public SequentialFile {
+ public:
+  FaultySequentialFile(FaultyEnv* env, std::unique_ptr<SequentialFile> inner)
+      : env_(env), inner_(std::move(inner)) {}
+
+  Result<size_t> Read(size_t n, char* scratch) override {
+    XYMON_RETURN_IF_ERROR(env_->BeginOp());
+    if (env_->fail_reads_) return Status::IOError("injected read error");
+    return inner_->Read(n, scratch);
+  }
+
+ private:
+  FaultyEnv* env_;
+  std::unique_ptr<SequentialFile> inner_;
+};
+
+Status FaultyEnv::BeginOp() {
+  if (crashed_) return Status::IOError("env crashed (simulated power loss)");
+  ++op_count_;
+  if (crash_at_op_ != 0 && op_count_ >= crash_at_op_) {
+    crashed_ = true;
+    base_->PowerLoss();
+    return Status::IOError("simulated power loss at I/O op " +
+                           std::to_string(op_count_));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WritableFile>> FaultyEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  XYMON_RETURN_IF_ERROR(BeginOp());
+  auto file = base_->NewWritableFile(path, truncate);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<WritableFile>(std::make_unique<FaultyWritableFile>(
+      this, std::move(file).value()));
+}
+
+Result<std::unique_ptr<SequentialFile>> FaultyEnv::NewSequentialFile(
+    const std::string& path) {
+  XYMON_RETURN_IF_ERROR(BeginOp());
+  auto file = base_->NewSequentialFile(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<SequentialFile>(
+      std::make_unique<FaultySequentialFile>(this, std::move(file).value()));
+}
+
+bool FaultyEnv::FileExists(const std::string& path) {
+  if (crashed_) return false;
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> FaultyEnv::GetFileSize(const std::string& path) {
+  if (crashed_) return Status::IOError("env crashed");
+  return base_->GetFileSize(path);
+}
+
+Status FaultyEnv::RenameFile(const std::string& from, const std::string& to) {
+  XYMON_RETURN_IF_ERROR(BeginOp());
+  return base_->RenameFile(from, to);
+}
+
+Status FaultyEnv::DeleteFile(const std::string& path) {
+  XYMON_RETURN_IF_ERROR(BeginOp());
+  return base_->DeleteFile(path);
+}
+
+Status FaultyEnv::SyncDir(const std::string& dir) {
+  XYMON_RETURN_IF_ERROR(BeginOp());
+  if (fail_syncs_) return Status::IOError("injected dir fsync failure");
+  return base_->SyncDir(dir);
+}
+
+}  // namespace xymon::storage

@@ -1,0 +1,211 @@
+#ifndef XYMON_STORAGE_ENV_H_
+#define XYMON_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace xymon::storage {
+
+/// An open file being appended to. Append pushes bytes into the OS cache;
+/// only Sync() puts them on stable storage — the gap between the two is
+/// exactly what a power loss erases (and what MemEnv/FaultyEnv simulate).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` (into the OS cache; not durable until Sync).
+  virtual Status Append(std::string_view data) = 0;
+
+  /// fsync(2): everything appended so far is on stable storage on OK.
+  virtual Status Sync() = 0;
+
+  /// Closes the handle. Does NOT imply Sync.
+  virtual Status Close() = 0;
+};
+
+/// An open file being read front to back (log replay).
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  /// Reads up to `n` bytes into `scratch`; returns the count, 0 at EOF.
+  virtual Result<size_t> Read(size_t n, char* scratch) = 0;
+};
+
+/// The filesystem boundary of the storage layer. Every I/O the durability
+/// substrate performs goes through an Env, so tests can swap the real
+/// filesystem (PosixEnv) for a deterministic in-memory one (MemEnv) or a
+/// fault-injecting wrapper (FaultyEnv) — the crash-point sweep harness
+/// crashes the store at every single I/O operation this interface exposes.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for appending, creating it if needed; `truncate` discards
+  /// any existing contents first.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  virtual Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Size visible to a reader right now (durable + cached bytes).
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (rename(2)). Durable only after
+  /// SyncDir on the containing directory.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// fsync(2) of the directory: makes preceding creates/renames/deletes of
+  /// entries in `dir` durable. Without it a crash can undo them even when
+  /// the file *data* was synced (the classic create-then-lose-it hazard).
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// The real filesystem. Never deleted; shared process-wide.
+  static Env* Default();
+};
+
+/// Directory part of `path` ("" -> "."), for Env::SyncDir.
+std::string DirnameOf(const std::string& path);
+
+// ---------------------------------------------------------------- MemEnv --
+
+/// Deterministic in-memory filesystem with explicit power-loss semantics:
+///
+///   * file data appended but not Sync'd lives in an "unsynced" suffix;
+///   * creates / renames / deletes are journalled until SyncDir;
+///   * PowerLoss() drops every unsynced suffix, rolls the metadata journal
+///     back, and invalidates all open handles (their epoch is stale).
+///
+/// The namespace is flat: paths are opaque strings, SyncDir syncs all
+/// pending metadata regardless of the directory argument.
+class MemEnv : public Env {
+ public:
+  MemEnv() = default;
+  MemEnv(const MemEnv&) = delete;
+  MemEnv& operator=(const MemEnv&) = delete;
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+
+  /// Simulates pulling the plug: unsynced data and un-SyncDir'd metadata
+  /// vanish, every open handle goes stale, and the env refuses all I/O
+  /// until Reboot().
+  void PowerLoss();
+
+  /// Brings the env back after PowerLoss; surviving state is what a real
+  /// disk would show after the outage.
+  void Reboot() { offline_ = false; }
+
+  bool offline() const { return offline_; }
+
+  /// Names of all files currently visible (test inspection).
+  std::vector<std::string> ListFiles() const;
+
+ private:
+  friend class MemWritableFile;
+  friend class MemSequentialFile;
+
+  struct FileState {
+    std::string durable;
+    std::string unsynced;
+  };
+  struct MetaOp {
+    enum class Kind { kCreate, kRename, kDelete };
+    Kind kind;
+    std::string a, b;       // create/delete: a; rename: a -> b
+    bool had_b = false;     // rename: `b` existed (was overwritten)
+    FileState prev_b;       // rename: overwritten contents of `b`
+    FileState deleted;      // delete: contents at deletion time
+  };
+
+  Status CheckOnline() const;
+
+  std::map<std::string, FileState> files_;
+  std::vector<MetaOp> journal_;  // metadata ops since the last SyncDir
+  uint64_t epoch_ = 0;           // bumped by PowerLoss; stales handles
+  bool offline_ = false;
+};
+
+// -------------------------------------------------------------- FaultyEnv --
+
+/// Deterministic fault injector around a MemEnv. Counts every I/O operation
+/// (opens, appends, syncs, reads, renames, deletes, dir syncs) and can:
+///
+///   * crash at the Nth op — the op fails, the MemEnv suffers a PowerLoss,
+///     and every later op fails ("kill -9 at any instant");
+///   * fail all fsyncs (the fsync-gate hazard);
+///   * fail all appends (ENOSPC);
+///   * tear appends in half before failing them (short writes);
+///   * fail all reads.
+///
+/// The crash-point sweep harness runs a workload once to count ops, then
+/// reruns it crashing at op 1, 2, 3, ... and asserts recovery invariants.
+class FaultyEnv : public Env {
+ public:
+  explicit FaultyEnv(MemEnv* base) : base_(base) {}
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::unique_ptr<SequentialFile>> NewSequentialFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  Status SyncDir(const std::string& dir) override;
+
+  /// Crash (power loss) when the running op count reaches `op_index`
+  /// (1-based). 0 disarms.
+  void CrashAtOp(uint64_t op_index) { crash_at_op_ = op_index; }
+  bool crashed() const { return crashed_; }
+
+  /// Total I/O ops observed so far (failed ops count too).
+  uint64_t op_count() const { return op_count_; }
+
+  void FailSyncs(bool on) { fail_syncs_ = on; }
+  void FailAppends(bool on) { fail_appends_ = on; }
+  void ShortWrites(bool on) { short_writes_ = on; }
+  void FailReads(bool on) { fail_reads_ = on; }
+
+  MemEnv* base() { return base_; }
+
+ private:
+  friend class FaultyWritableFile;
+  friend class FaultySequentialFile;
+
+  /// Bumps the op counter and fires the crash if this is the fatal op.
+  /// Returns non-OK when the op must fail before touching the base env.
+  Status BeginOp();
+
+  MemEnv* base_;
+  uint64_t op_count_ = 0;
+  uint64_t crash_at_op_ = 0;
+  bool crashed_ = false;
+  bool fail_syncs_ = false;
+  bool fail_appends_ = false;
+  bool short_writes_ = false;
+  bool fail_reads_ = false;
+};
+
+}  // namespace xymon::storage
+
+#endif  // XYMON_STORAGE_ENV_H_

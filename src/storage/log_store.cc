@@ -4,10 +4,6 @@
 #include <cstring>
 #include <vector>
 
-#ifndef _WIN32
-#include <unistd.h>
-#endif
-
 namespace xymon::storage {
 namespace {
 
@@ -23,6 +19,8 @@ std::array<uint32_t, 256> BuildCrcTable() {
   return table;
 }
 
+constexpr size_t kHeaderLen = 2 * sizeof(uint32_t);
+
 }  // namespace
 
 uint32_t Crc32(std::string_view data) {
@@ -34,63 +32,56 @@ uint32_t Crc32(std::string_view data) {
   return c ^ 0xFFFFFFFFu;
 }
 
-LogStore::~LogStore() {
-  if (file_ != nullptr) fclose(file_);
-}
-
-LogStore::LogStore(LogStore&& other) noexcept
-    : path_(std::move(other.path_)),
-      file_(other.file_),
-      options_(other.options_),
-      appends_since_sync_(other.appends_since_sync_) {
-  other.file_ = nullptr;
-}
-
-LogStore& LogStore::operator=(LogStore&& other) noexcept {
-  if (this != &other) {
-    if (file_ != nullptr) fclose(file_);
-    path_ = std::move(other.path_);
-    file_ = other.file_;
-    options_ = other.options_;
-    appends_since_sync_ = other.appends_since_sync_;
-    other.file_ = nullptr;
-  }
-  return *this;
-}
-
 Result<LogStore> LogStore::Open(const std::string& path,
-                                const Options& options) {
-  std::FILE* f = fopen(path.c_str(), "ab");
-  if (f == nullptr) {
-    return Status::IOError("cannot open log file " + path);
+                                const Options& options, bool truncate) {
+  Env* env = options.env != nullptr ? options.env : Env::Default();
+  bool existed = env->FileExists(path);
+  auto file = env->NewWritableFile(path, truncate);
+  if (!file.ok()) return file.status();
+  size_t size = 0;
+  if (existed && !truncate) {
+    auto file_size = env->GetFileSize(path);
+    if (!file_size.ok()) return file_size.status();
+    size = *file_size;
   }
-  return LogStore(path, f, options);
+  if (!existed) {
+    // A freshly created file is not findable after a crash until its
+    // directory entry is durable.
+    XYMON_RETURN_IF_ERROR(env->SyncDir(DirnameOf(path)));
+  }
+  return LogStore(path, std::move(file).value(), env, options, size);
 }
 
 Status LogStore::Sync() {
-#ifndef _WIN32
-  if (fflush(file_) != 0) {
-    return Status::IOError("flush failed for " + path_);
+  if (!poison_.ok()) return poison_;
+  Status st = file_->Sync();
+  if (!st.ok()) {
+    poison_ = st;
+    return st;
   }
-  if (fsync(fileno(file_)) != 0) {
-    return Status::IOError("fsync failed for " + path_);
-  }
-#endif
   appends_since_sync_ = 0;
   return Status::OK();
 }
 
 Status LogStore::Append(std::string_view payload) {
+  if (!poison_.ok()) return poison_;
   uint32_t len = static_cast<uint32_t>(payload.size());
   uint32_t crc = Crc32(payload);
-  if (fwrite(&len, sizeof(len), 1, file_) != 1 ||
-      fwrite(&crc, sizeof(crc), 1, file_) != 1 ||
-      (len > 0 && fwrite(payload.data(), 1, len, file_) != len)) {
-    return Status::IOError("short write to " + path_);
+  // One contiguous write per record: a torn write can only truncate the
+  // record, never interleave with a neighbour.
+  std::string record;
+  record.reserve(kHeaderLen + payload.size());
+  record.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  record.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  record.append(payload);
+  Status st = file_->Append(record);
+  if (!st.ok()) {
+    // The record may be partially on disk; the framing is no longer
+    // trustworthy from here on. Poison the store.
+    poison_ = st;
+    return st;
   }
-  if (fflush(file_) != 0) {
-    return Status::IOError("flush failed for " + path_);
-  }
+  size_ += record.size();
   if (options_.fsync_every_n > 0 &&
       ++appends_since_sync_ >= options_.fsync_every_n) {
     return Sync();
@@ -98,71 +89,80 @@ Status LogStore::Append(std::string_view payload) {
   return Status::OK();
 }
 
+Status LogStore::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status st = file_->Close();
+  file_ = nullptr;
+  return st;
+}
+
 Status LogStore::Replay(
     const std::function<void(std::string_view)>& fn) const {
-  std::FILE* f = fopen(path_.c_str(), "rb");
-  if (f == nullptr) return Status::OK();  // Nothing written yet.
+  if (!env_->FileExists(path_)) return Status::OK();  // Nothing written yet.
+  auto file = env_->NewSequentialFile(path_);
+  if (!file.ok()) {
+    return file.status().IsNotFound() ? Status::OK() : file.status();
+  }
 
-  std::vector<char> buf;
-  bool saw_corruption = false;
-  long corrupt_offset = 0;
+  // Pull the whole log into memory, then parse: records are capped at
+  // kMaxLogRecordLen and logs are compacted by checkpoints, so the simple
+  // approach wins over incremental framing.
+  std::string data;
+  std::vector<char> chunk(1 << 16);
   while (true) {
+    auto got = (*file)->Read(chunk.size(), chunk.data());
+    if (!got.ok()) return got.status();
+    if (*got == 0) break;
+    data.append(chunk.data(), *got);
+  }
+
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t remaining = data.size() - pos;
+    if (remaining < kHeaderLen) {
+      return Status::OK();  // Torn header at the tail.
+    }
     uint32_t len = 0;
     uint32_t crc = 0;
-    long record_start = ftell(f);
-    size_t got = fread(&len, 1, sizeof(len), f);
-    if (got == 0) break;  // Clean EOF.
-    if (got < sizeof(len) || fread(&crc, 1, sizeof(crc), f) != sizeof(crc)) {
-      saw_corruption = true;
-      corrupt_offset = record_start;
-      break;
+    std::memcpy(&len, data.data() + pos, sizeof(len));
+    std::memcpy(&crc, data.data() + pos + sizeof(len), sizeof(crc));
+    if (len > kMaxLogRecordLen) {
+      // An absurd length field is a damaged header, not a real record —
+      // reject before trusting it for an allocation.
+      return Status::Corruption("log " + path_ + " corrupt at offset " +
+                                std::to_string(pos) +
+                                ": record length " + std::to_string(len));
     }
-    buf.resize(len);
-    if (len > 0 && fread(buf.data(), 1, len, f) != len) {
-      saw_corruption = true;
-      corrupt_offset = record_start;
-      break;
+    if (remaining - kHeaderLen < len) {
+      return Status::OK();  // Torn payload at the tail (crash mid-append).
     }
-    std::string_view payload(buf.data(), len);
+    std::string_view payload(data.data() + pos + kHeaderLen, len);
     if (Crc32(payload) != crc) {
-      saw_corruption = true;
-      corrupt_offset = record_start;
-      break;
+      // A complete record with a bad checksum cannot come from our crash
+      // model (power loss truncates, it does not scramble): interior damage.
+      return Status::Corruption("log " + path_ + " corrupt at offset " +
+                                std::to_string(pos) + ": bad CRC");
     }
     fn(payload);
+    pos += kHeaderLen + len;
   }
-
-  if (saw_corruption) {
-    // A torn tail is expected after a crash; anything else is real damage.
-    fseek(f, 0, SEEK_END);
-    long size = ftell(f);
-    fclose(f);
-    // If the corruption is not within one max-frame of EOF we cannot tell a
-    // torn write from interior damage; be conservative only when data
-    // clearly follows the bad record.
-    if (size - corrupt_offset > static_cast<long>(1 << 20)) {
-      return Status::Corruption("log " + path_ + " corrupt at offset " +
-                                std::to_string(corrupt_offset));
-    }
-    return Status::OK();
-  }
-  fclose(f);
   return Status::OK();
 }
 
-Result<size_t> LogStore::SizeBytes() const {
-  long pos = ftell(file_);
-  if (pos < 0) return Status::IOError("ftell failed for " + path_);
-  return static_cast<size_t>(pos);
-}
-
 Status LogStore::Truncate() {
-  std::FILE* f = freopen(path_.c_str(), "wb", file_);
-  if (f == nullptr) {
+  if (!poison_.ok()) return poison_;
+  if (file_ != nullptr) {
+    XYMON_RETURN_IF_ERROR(file_->Close());
     file_ = nullptr;
-    return Status::IOError("truncate failed for " + path_);
   }
-  file_ = f;
+  auto file = env_->NewWritableFile(path_, /*truncate=*/true);
+  if (!file.ok()) {
+    poison_ = file.status();
+    return file.status();
+  }
+  file_ = std::move(file).value();
+  size_ = 0;
+  appends_since_sync_ = 0;
   return Status::OK();
 }
 

@@ -2,13 +2,14 @@
 #define XYMON_STORAGE_LOG_STORE_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "src/common/result.h"
 #include "src/common/status.h"
+#include "src/storage/env.h"
 
 namespace xymon::storage {
 
@@ -16,14 +17,21 @@ namespace xymon::storage {
 /// torn write at the tail is detected instead of replayed.
 uint32_t Crc32(std::string_view data);
 
+/// Records whose length field claims more than this are treated as interior
+/// corruption outright — a flipped bit in an on-disk u32 must not translate
+/// into a multi-gigabyte allocation before the CRC even runs.
+inline constexpr uint32_t kMaxLogRecordLen = 64u << 20;  // 64 MiB
+
 /// Durability knobs for LogStore (namespace-scope so it can be a default
 /// argument inside the class itself).
 struct LogStoreOptions {
-  /// fsync(2) the file every N appends (0 = never fsync; every append is
-  /// still fflushed to the OS). With fsync_every_n = 1 each Append is on
-  /// stable storage when it returns — recovery tests can assert data
-  /// survives a crash right after a flushed append.
+  /// fsync(2) the file every N appends (0 = never fsync automatically).
+  /// With fsync_every_n = 1 each Append is on stable storage when it
+  /// returns — the crash sweep asserts acknowledged data survives.
   uint32_t fsync_every_n = 0;
+  /// Filesystem to run on; nullptr = Env::Default() (the real one). Tests
+  /// inject MemEnv / FaultyEnv here.
+  Env* env = nullptr;
 };
 
 /// Append-only record log with per-record CRC framing:
@@ -35,49 +43,71 @@ struct LogStoreOptions {
 /// the same behaviour (all subscription state survives a restart, a corrupt
 /// tail is truncated, interior corruption is reported) with a from-scratch
 /// log.
+///
+/// All I/O goes through an Env. A failed Append or Sync poisons the store:
+/// every later Append/Sync returns the original error instead of pretending
+/// durability resumed (after a failed fsync the kernel may have dropped the
+/// dirty pages — the fsync-gate hazard).
 class LogStore {
  public:
   using Options = LogStoreOptions;
 
-  ~LogStore();
-
-  LogStore(LogStore&& other) noexcept;
-  LogStore& operator=(LogStore&& other) noexcept;
+  ~LogStore() = default;
+  LogStore(LogStore&&) = default;
+  LogStore& operator=(LogStore&&) = default;
   LogStore(const LogStore&) = delete;
   LogStore& operator=(const LogStore&) = delete;
 
-  /// Opens (creating if needed) the log at `path` for appending.
+  /// Opens the log at `path` for appending; `truncate` discards existing
+  /// contents. Creating a new file syncs the containing directory so the
+  /// file itself survives a crash.
   static Result<LogStore> Open(const std::string& path,
-                               const Options& options = {});
+                               const Options& options = {},
+                               bool truncate = false);
 
-  /// Appends one record and flushes it to the OS (and to disk per
-  /// Options::fsync_every_n).
+  /// Appends one record (durable per Options::fsync_every_n).
   Status Append(std::string_view payload);
 
   /// Forces the log onto stable storage now.
   Status Sync();
 
-  /// Replays every intact record in order. A corrupt record at the tail
-  /// (torn write) stops replay with OK; corruption followed by further valid
-  /// data returns Corruption.
+  /// Closes the underlying file handle (the destructor also closes, but
+  /// cannot report errors). The store is unusable afterwards.
+  Status Close();
+
+  /// Replays every intact record in order. An incomplete record at the tail
+  /// (torn write) stops replay with OK; a complete record with a bad CRC, a
+  /// length above kMaxLogRecordLen, or corruption followed by further data
+  /// returns Corruption.
   Status Replay(const std::function<void(std::string_view)>& fn) const;
 
   /// Truncates the log to empty (used after a checkpoint).
   Status Truncate();
 
   /// Current size of the log file in bytes.
-  Result<size_t> SizeBytes() const;
+  Result<size_t> SizeBytes() const { return size_; }
 
   const std::string& path() const { return path_; }
 
+  /// Non-OK once a write or sync has failed (sticky).
+  const Status& poisoned() const { return poison_; }
+
  private:
-  explicit LogStore(std::string path, std::FILE* file, Options options)
-      : path_(std::move(path)), file_(file), options_(options) {}
+  LogStore(std::string path, std::unique_ptr<WritableFile> file, Env* env,
+           Options options, size_t size)
+      : path_(std::move(path)),
+        file_(std::move(file)),
+        env_(env),
+        options_(options),
+        size_(size) {}
 
   std::string path_;
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<WritableFile> file_;
+  Env* env_ = nullptr;
   Options options_;
+  size_t size_ = 0;
   uint32_t appends_since_sync_ = 0;
+  Status poison_;
 };
 
 }  // namespace xymon::storage

@@ -9,13 +9,38 @@ namespace {
 constexpr char kOpPut = 'P';
 constexpr char kOpDelete = 'D';
 
+std::string CheckpointPath(const std::string& path) { return path + ".ckpt"; }
+std::string CheckpointTempPath(const std::string& path) {
+  return path + ".ckpt.tmp";
+}
+
 }  // namespace
 
 Result<PersistentMap> PersistentMap::Open(
     const std::string& path, const LogStore::Options& log_options) {
+  Env* env = log_options.env != nullptr ? log_options.env : Env::Default();
+
+  // A leftover temp file is a checkpoint that never committed: discard it.
+  if (env->FileExists(CheckpointTempPath(path))) {
+    XYMON_RETURN_IF_ERROR(env->DeleteFile(CheckpointTempPath(path)));
+  }
+
   auto log = LogStore::Open(path, log_options);
   if (!log.ok()) return log.status();
-  PersistentMap map(std::move(log).value());
+  PersistentMap map(path, std::move(log).value(), env, log_options);
+
+  // Recovery: committed checkpoint first, then the log tail. Replaying a
+  // stale log (one the crash interrupted before truncation) on top of its
+  // own checkpoint is idempotent — the last record for any key carries the
+  // same value the snapshot does.
+  if (env->FileExists(CheckpointPath(path))) {
+    auto ckpt = LogStore::Open(CheckpointPath(path), log_options);
+    if (!ckpt.ok()) return ckpt.status();
+    Status st = ckpt->Replay(
+        [&map](std::string_view record) { map.ApplyRecord(record); });
+    if (!st.ok()) return st;
+    XYMON_RETURN_IF_ERROR(ckpt->Close());
+  }
   Status st = map.log_.Replay(
       [&map](std::string_view record) { map.ApplyRecord(record); });
   if (!st.ok()) return st;
@@ -86,11 +111,36 @@ std::optional<std::string> PersistentMap::Get(std::string_view key) const {
 }
 
 Status PersistentMap::Checkpoint() {
-  XYMON_RETURN_IF_ERROR(log_.Truncate());
-  for (const auto& [k, v] : data_) {
-    XYMON_RETURN_IF_ERROR(log_.Append(EncodePut(k, v)));
+  XYMON_RETURN_IF_ERROR(log_.poisoned());
+  const std::string tmp = CheckpointTempPath(path_);
+
+  // 1. Snapshot into the temp file and force it to disk.
+  {
+    LogStore::Options snapshot_options = options_;
+    snapshot_options.fsync_every_n = 0;  // One Sync at the end is enough.
+    auto out = LogStore::Open(tmp, snapshot_options, /*truncate=*/true);
+    if (!out.ok()) return out.status();
+    Status st;
+    for (const auto& [k, v] : data_) {
+      st = out->Append(EncodePut(k, v));
+      if (!st.ok()) break;
+    }
+    if (st.ok()) st = out->Sync();
+    if (st.ok()) st = out->Close();
+    if (!st.ok()) {
+      (void)env_->DeleteFile(tmp);  // Best effort; Open cleans up orphans.
+      return st;
+    }
   }
-  return Status::OK();
+
+  // 2. Commit: atomic rename, then make the rename itself durable.
+  XYMON_RETURN_IF_ERROR(env_->RenameFile(tmp, CheckpointPath(path_)));
+  XYMON_RETURN_IF_ERROR(env_->SyncDir(DirnameOf(path_)));
+
+  // 3. Only now may the mutation log be emptied: every record it held is in
+  // the committed snapshot. A crash before this leaves ckpt + stale log,
+  // which recovery replays idempotently.
+  return log_.Truncate();
 }
 
 }  // namespace xymon::storage

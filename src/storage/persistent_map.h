@@ -13,17 +13,30 @@ namespace xymon::storage {
 
 /// A durable string→string map layered on LogStore: every mutation is logged
 /// before it is applied; Open() recovers state by replay. Checkpoint()
-/// rewrites the log as a snapshot so it does not grow without bound.
+/// rewrites the map as a snapshot so the log does not grow without bound.
 ///
-/// This is the recovery store used by the Subscription Manager (the paper
-/// stores subscriptions and user records in MySQL; see DESIGN.md §1).
+/// On-disk layout (all under the caller's `path`):
+///   path           live mutation log (records since the last checkpoint)
+///   path.ckpt      latest checkpoint snapshot (same record framing)
+///   path.ckpt.tmp  checkpoint being written; deleted on recovery
+///
+/// Checkpoints are crash-atomic: the snapshot is written to the temp file,
+/// fsync'd, renamed over `path.ckpt`, the directory is fsync'd, and only
+/// then is the live log truncated. A crash at any point leaves either the
+/// old checkpoint + full log or the new checkpoint (+ possibly the stale
+/// log, whose replay on top of the snapshot is idempotent).
+///
+/// This is the recovery store used by the Subscription Manager, the user
+/// registry, the warehouse and the outbox (the paper stores this state in
+/// MySQL; see DESIGN.md §1 and §10).
 class PersistentMap {
  public:
   PersistentMap(PersistentMap&&) = default;
   PersistentMap& operator=(PersistentMap&&) = default;
 
-  /// Opens the map backed by `path`, replaying any existing log.
-  /// `log_options` tunes durability (see LogStore::Options::fsync_every_n).
+  /// Opens the map backed by `path`, recovering checkpoint + log tail and
+  /// removing any orphaned temp file. `log_options` tunes durability and
+  /// supplies the Env (see LogStore::Options).
   static Result<PersistentMap> Open(const std::string& path,
                                     const LogStore::Options& log_options = {});
 
@@ -44,7 +57,8 @@ class PersistentMap {
   /// In-order iteration over the live image.
   const std::map<std::string, std::string>& data() const { return data_; }
 
-  /// Compacts the log to one record per live key.
+  /// Atomically compacts to a snapshot of the live image (see class
+  /// comment) and empties the mutation log.
   Status Checkpoint();
 
   /// Compacts automatically whenever the log grows past `threshold` bytes
@@ -53,7 +67,12 @@ class PersistentMap {
   void SetAutoCheckpoint(size_t threshold) { auto_checkpoint_ = threshold; }
 
  private:
-  explicit PersistentMap(LogStore log) : log_(std::move(log)) {}
+  PersistentMap(std::string path, LogStore log, Env* env,
+                LogStore::Options options)
+      : path_(std::move(path)),
+        log_(std::move(log)),
+        env_(env),
+        options_(options) {}
 
   static std::string EncodePut(std::string_view key, std::string_view value);
   static std::string EncodeDelete(std::string_view key);
@@ -61,7 +80,10 @@ class PersistentMap {
 
   Status MaybeAutoCheckpoint();
 
+  std::string path_;
   LogStore log_;
+  Env* env_ = nullptr;
+  LogStore::Options options_;
   std::map<std::string, std::string> data_;
   size_t auto_checkpoint_ = 0;
 };

@@ -24,18 +24,56 @@ XylemeMonitor::XylemeMonitor(const Clock* clock, const Options& options)
           options.validator) {
   reporter_.set_web_portal(&web_portal_);
   warehouse_.set_max_parse_failures(options.max_parse_failures_per_url);
+  manager_.set_user_registry(&users_);
+
+  // Cold-start recovery. Order matters only in that the outbox backlog must
+  // be restored before anything can Send (re-queued mail keeps its original
+  // seq). Subscription recovery rebuilds the MQP hash tree, the alerter
+  // structures and the trigger engine as a side effect of replay.
+  //
+  // Construction cannot fail without exceptions; a bad storage path leaves
+  // the system running non-durably with the error in storage_status().
+  // Callers that need durability use XylemeMonitor::Open.
+  storage::LogStore::Options log_options{options.storage_fsync_every_n,
+                                         options.env};
+  auto note = [this](Status st) {
+    if (storage_status_.ok() && !st.ok()) storage_status_ = st;
+  };
+  if (!options.outbox_path.empty()) {
+    note(outbox_.AttachStorage(options.outbox_path, log_options));
+  }
   if (!options.warehouse_path.empty()) {
-    (void)warehouse_.AttachStorage(options.warehouse_path);
+    note(warehouse_.AttachStorage(options.warehouse_path, log_options));
+  }
+  if (!options.user_registry_path.empty()) {
+    note(users_.AttachStorage(options.user_registry_path, log_options));
   }
   if (!options.storage_path.empty()) {
-    Status st = manager_.AttachStorage(
-        options.storage_path,
-        storage::LogStore::Options{options.storage_fsync_every_n});
-    // Construction cannot fail without exceptions; a bad storage path
-    // leaves the system running non-durably. Callers that need durability
-    // check manager().AttachStorage explicitly in tests.
-    (void)st;
+    note(manager_.AttachStorage(options.storage_path, log_options));
   }
+}
+
+Result<std::unique_ptr<XylemeMonitor>> XylemeMonitor::Open(
+    const Clock* clock, const Options& options) {
+  auto monitor = std::make_unique<XylemeMonitor>(clock, options);
+  if (!monitor->storage_status().ok()) return monitor->storage_status();
+  return monitor;
+}
+
+Status XylemeMonitor::CheckpointStorage() {
+  XYMON_RETURN_IF_ERROR(manager_.CheckpointStorage());
+  XYMON_RETURN_IF_ERROR(warehouse_.CheckpointStorage());
+  XYMON_RETURN_IF_ERROR(users_.CheckpointStorage());
+  return outbox_.CheckpointStorage();
+}
+
+Status XylemeMonitor::AddUser(const manager::User& user) {
+  return users_.AddUser(user);
+}
+
+Result<std::string> XylemeMonitor::SubscribeAs(const std::string& user_name,
+                                               const std::string& text) {
+  return manager_.SubscribeAs(user_name, text);
 }
 
 Result<std::string> XylemeMonitor::Subscribe(const std::string& text,

@@ -37,6 +37,15 @@ class XylemeMonitor {
     std::string storage_path;
     /// Warehouse store path; "" keeps the repository in memory only.
     std::string warehouse_path;
+    /// User-registry store path; "" keeps accounts in memory only.
+    std::string user_registry_path;
+    /// Outbox backlog path; "" loses undelivered reports on restart. With a
+    /// path, reports are delivered at-least-once across crashes (seq-number
+    /// dedup on the receiving side).
+    std::string outbox_path;
+    /// Filesystem all stores run on; nullptr = the real one. The crash
+    /// sweep injects a FaultyEnv here.
+    storage::Env* env = nullptr;
     /// Outbox capacity (0 = unlimited); see bench_reporter.
     uint64_t outbox_daily_capacity = 0;
     /// Consecutive malformed bodies absorbed per warehoused-XML URL before
@@ -84,11 +93,40 @@ class XylemeMonitor {
   XylemeMonitor(const XylemeMonitor&) = delete;
   XylemeMonitor& operator=(const XylemeMonitor&) = delete;
 
+  /// Cold-start factory: constructs the monitor and *checks* recovery. Any
+  /// storage path that fails to open or replay fails the whole Open — use
+  /// this instead of the constructor when durability matters (the
+  /// constructor keeps the historical forgiving behaviour: a bad path
+  /// leaves the system running non-durably, see storage_status()).
+  ///
+  /// Everything rebuilds from disk: warehouse contents, subscriptions (and
+  /// from them the MQP atomic-event-set hash tree, alerter registrations
+  /// and trigger-engine state), user accounts, and the undelivered outbox
+  /// backlog.
+  static Result<std::unique_ptr<XylemeMonitor>> Open(const Clock* clock,
+                                                     const Options& options);
+
+  /// First error any AttachStorage produced during construction (OK when
+  /// all stores opened, or none were configured).
+  const Status& storage_status() const { return storage_status_; }
+
+  /// Atomically compacts every attached store (subscriptions, warehouse,
+  /// users, outbox). Crash-safe at any I/O operation: a torn checkpoint is
+  /// discarded on recovery in favour of the previous one plus the log.
+  Status CheckpointStorage();
+
   // -- Subscriptions ----------------------------------------------------------
 
   Result<std::string> Subscribe(const std::string& text,
                                 const std::string& email);
   Status Unsubscribe(const std::string& name);
+
+  /// Registers an account in the (durable, if configured) user registry.
+  Status AddUser(const manager::User& user);
+  /// Subscribes on behalf of a registered account (see
+  /// SubscriptionManager::SubscribeAs).
+  Result<std::string> SubscribeAs(const std::string& user_name,
+                                  const std::string& text);
 
   /// Domain classification rule for the semantic module stand-in.
   void AddDomainRule(warehouse::DomainClassifier::Rule rule);
@@ -143,6 +181,8 @@ class XylemeMonitor {
   reporter::Outbox& outbox() { return outbox_; }
   reporter::WebPortal& web_portal() { return web_portal_; }
   manager::SubscriptionManager& manager() { return manager_; }
+  const manager::SubscriptionManager& manager() const { return manager_; }
+  manager::UserRegistry& user_registry() { return users_; }
   const mqp::MonitoringQueryProcessor& mqp() const { return mqp_; }
   trigger::TriggerEngine& trigger_engine() { return trigger_engine_; }
   const query::QueryEngine& query_engine() const { return query_engine_; }
@@ -166,7 +206,9 @@ class XylemeMonitor {
   reporter::WebPortal web_portal_;
   query::QueryEngine query_engine_;
   reporter::Reporter reporter_;
+  manager::UserRegistry users_;
   manager::SubscriptionManager manager_;
+  Status storage_status_;
   Stats stats_;
   webstub::CrawlerStats last_crawler_stats_;
   uint64_t quarantined_urls_ = 0;

@@ -116,8 +116,9 @@ void Warehouse::PersistCounters() {
   (void)store_->Put(kCountersKey, out);
 }
 
-Status Warehouse::AttachStorage(const std::string& path) {
-  auto store = storage::PersistentMap::Open(path);
+Status Warehouse::AttachStorage(const std::string& path,
+                                const storage::LogStore::Options& options) {
+  auto store = storage::PersistentMap::Open(path, options);
   if (!store.ok()) return store.status();
   store_ = std::move(store).value();
   // Every content change appends a full document record; compact when the

@@ -59,8 +59,15 @@ class Warehouse {
   /// and XID allocators are written through to `path` and recovered by the
   /// next Open. The *previous* version is not retained across restarts
   /// (the first post-restart fetch of a changed page diffs against the
-  /// recovered current version). Call before the first Ingest.
-  Status AttachStorage(const std::string& path);
+  /// recovered current version). Call before the first Ingest. `options`
+  /// tunes durability and supplies the Env (see LogStore::Options).
+  Status AttachStorage(const std::string& path,
+                       const storage::LogStore::Options& options = {});
+
+  /// Atomically compacts the backing store (no-op without AttachStorage).
+  Status CheckpointStorage() {
+    return store_.has_value() ? store_->Checkpoint() : Status::OK();
+  }
 
   /// Retains up to `max_deltas` historical versions per XML document
   /// (snapshot + deltas, paper [17]). Off by default — the monitoring chain

@@ -1,0 +1,224 @@
+#ifndef XYMON_TESTS_CRASH_SWEEP_H_
+#define XYMON_TESTS_CRASH_SWEEP_H_
+
+// Reusable crash-point sweep driver (see DESIGN.md §10 and
+// tests/crash_recovery_test.cpp): runs a fixed, seeded
+// subscribe/fetch/report workload against a full XylemeMonitor whose
+// storage lives on a FaultyEnv, so a test can crash it at every single I/O
+// operation, reopen from the surviving bytes, and assert the recovery
+// invariants:
+//
+//   I1  recovery always succeeds (power loss never manufactures corruption);
+//   I2  no acknowledged subscription is lost, no acknowledged unsubscribe
+//       resurrects (fsync_every_n = 1), and at most the single in-flight
+//       operation is in doubt — recovered state is a prefix of pre-crash
+//       state;
+//   I3  the rebuilt MQP atomic-event-set hash tree is structurally
+//       identical to a from-scratch build over the recovered subscriptions;
+//   I4  the warehouse recovers a subset of what was ingested (no invented
+//       documents);
+//   I5  every e-mail still pending in the durable outbox at crash time is
+//       delivered after recovery (at-least-once, seq-numbered).
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/mqp/aes_matcher.h"
+#include "src/storage/env.h"
+#include "src/system/monitor.h"
+
+namespace xymon::testing {
+
+/// What the driver observed before the crash (or a full run when the env
+/// never crashed).
+struct CrashTrace {
+  /// Subscriptions acknowledged live at crash time: every Subscribe that
+  /// returned OK minus every Unsubscribe that returned OK.
+  std::set<std::string> acked_subs;
+  /// Name the in-flight Subscribe/Unsubscribe was touching when the crash
+  /// hit (its durable fate is legitimately either way).
+  std::optional<std::string> in_flight_sub;
+  /// Subscription text by name, for the from-scratch rebuild.
+  std::map<std::string, std::string> sub_texts;
+  /// Every URL ever offered to ProcessFetch.
+  std::set<std::string> ingested_urls;
+  /// Outbox seqs the send hook delivered pre-crash.
+  std::set<uint64_t> delivered_seqs;
+  /// Clock value when the workload stopped.
+  Timestamp end_time = 0;
+  bool crashed = false;
+};
+
+inline std::string SweepSubText(int i) {
+  std::string name = "Sub" + std::to_string(i);
+  if (i % 2 == 0) {
+    // Shared URL prefixes across subscriptions exercise the refcounted
+    // atomic-event codes.
+    return "subscription " + name +
+           "\n"
+           "monitoring\n"
+           "select <Changed url=URL/>\n"
+           "where URL extends \"http://w" +
+           std::to_string(i % 3) +
+           ".example/\" and modified self\n"
+           "report when immediate\n";
+  }
+  return "subscription " + name +
+         "\n"
+         "monitoring\n"
+         "select X\n"
+         "from self//Item X\n"
+         "where URL extends \"http://w" +
+         std::to_string(i % 3) +
+         ".example/\" and new X\n"
+         "report when immediate\n";
+}
+
+inline std::string SweepUrl(int j) {
+  return "http://w" + std::to_string(j % 3) + ".example/doc" +
+         std::to_string(j) + ".xml";
+}
+
+inline std::string SweepBody(int j, int version) {
+  std::string body = "<Page v=\"" + std::to_string(version) + "\">";
+  for (int k = 0; k <= version % 3; ++k) {
+    body += "<Item>i" + std::to_string(j) + "-" + std::to_string(version) +
+            "-" + std::to_string(k) + "</Item>";
+  }
+  body += "</Page>";
+  return body;
+}
+
+inline system::XylemeMonitor::Options SweepOptions(const std::string& dir,
+                                                   storage::Env* env) {
+  system::XylemeMonitor::Options options;
+  options.storage_path = dir + "/subs";
+  options.warehouse_path = dir + "/wh";
+  options.user_registry_path = dir + "/users";
+  options.outbox_path = dir + "/outbox";
+  options.storage_fsync_every_n = 1;  // Every ack is a durability promise.
+  options.env = env;
+  return options;
+}
+
+/// Runs the seeded workload on `env` under `dir`. Stops at the first I/O op
+/// the env kills (trace.crashed) or at workload end. The same call with the
+/// same env state is bit-for-bit deterministic.
+inline CrashTrace RunCrashWorkload(storage::FaultyEnv* env,
+                                   const std::string& dir) {
+  CrashTrace trace;
+  SimClock clock(1000);
+  // The strict factory: a monitor that cannot open its stores must not run
+  // and ack non-durable work (a crash during construction lands here).
+  auto opened = system::XylemeMonitor::Open(&clock, SweepOptions(dir, env));
+  if (!opened.ok()) {
+    trace.end_time = clock.Now();
+    trace.crashed = env->crashed();
+    return trace;
+  }
+  system::XylemeMonitor& monitor = **opened;
+  monitor.outbox().set_send_hook([&trace](const reporter::Email& email) {
+    trace.delivered_seqs.insert(email.seq);
+    return true;
+  });
+
+  auto done = [&] {
+    trace.end_time = clock.Now();
+    if (env->crashed()) trace.crashed = true;
+    return trace.crashed;
+  };
+  auto subscribe = [&](int i) {
+    trace.in_flight_sub = "Sub" + std::to_string(i);
+    std::string text = SweepSubText(i);
+    auto sub = monitor.Subscribe(text, "user" + std::to_string(i) + "@x");
+    if (sub.ok()) {
+      trace.acked_subs.insert(*sub);
+      trace.sub_texts[*sub] = text;
+    }
+    if (!env->crashed()) trace.in_flight_sub.reset();
+    return done();
+  };
+  auto unsubscribe = [&](int i) {
+    std::string name = "Sub" + std::to_string(i);
+    trace.in_flight_sub = name;
+    if (monitor.Unsubscribe(name).ok()) trace.acked_subs.erase(name);
+    if (!env->crashed()) trace.in_flight_sub.reset();
+    return done();
+  };
+  auto fetch = [&](int j, int version) {
+    trace.ingested_urls.insert(SweepUrl(j));
+    monitor.ProcessFetch(SweepUrl(j), SweepBody(j, version));
+    return done();
+  };
+  auto tick = [&] {
+    clock.Advance(kDay);
+    monitor.Tick();
+    return done();
+  };
+  auto checkpoint = [&] {
+    (void)monitor.CheckpointStorage();
+    return done();
+  };
+
+  // The script. Every branch of the storage layer gets exercised: creates,
+  // appends with per-append fsync, deletes (unsubscribe), atomic
+  // checkpoints (temp + rename + dir fsync), and outbox acknowledge
+  // cycles. ~a few hundred I/O ops end to end.
+  if (!monitor.AddUser({"op", "op@x", true}).ok() && done()) return trace;
+  for (int i = 0; i < 4; ++i) {
+    if (subscribe(i)) return trace;
+  }
+  for (int j = 0; j < 3; ++j) {
+    if (fetch(j, 1)) return trace;
+  }
+  if (tick()) return trace;
+  for (int i = 4; i < 6; ++i) {
+    if (subscribe(i)) return trace;
+  }
+  for (int j = 0; j < 3; ++j) {
+    if (fetch(j, 2)) return trace;  // Modified pages: notifications flow.
+  }
+  if (tick()) return trace;
+  if (checkpoint()) return trace;
+  if (unsubscribe(1)) return trace;
+  for (int j = 0; j < 3; ++j) {
+    if (fetch(j, 3)) return trace;
+  }
+  if (tick()) return trace;
+  for (int i = 6; i < 8; ++i) {
+    if (subscribe(i)) return trace;
+  }
+  if (unsubscribe(4)) return trace;
+  if (checkpoint()) return trace;
+  if (fetch(0, 4)) return trace;
+  if (tick()) return trace;
+  (void)done();
+  return trace;
+}
+
+/// Structural fingerprint of the AES hash tree, comparable across builds.
+struct TreeShape {
+  std::vector<size_t> tables, cells, marks;
+  size_t max_depth = 0;
+  size_t max_sub = 0;
+  size_t complex_events = 0;
+
+  bool operator==(const TreeShape&) const = default;
+};
+
+inline std::optional<TreeShape> ShapeOf(const system::XylemeMonitor& m) {
+  const auto* aes = dynamic_cast<const mqp::AesMatcher*>(&m.mqp().matcher());
+  if (aes == nullptr) return std::nullopt;
+  mqp::AesMatcher::StructureStats s = aes->CollectStructureStats();
+  return TreeShape{s.tables_per_level, s.cells_per_level, s.marks_per_level,
+                   s.max_depth,        s.max_substructure_cells,
+                   aes->size()};
+}
+
+}  // namespace xymon::testing
+
+#endif  // XYMON_TESTS_CRASH_SWEEP_H_

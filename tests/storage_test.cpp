@@ -3,7 +3,11 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
 
+#include "src/storage/env.h"
 #include "src/storage/log_store.h"
 #include "src/storage/persistent_map.h"
 
@@ -273,6 +277,269 @@ TEST_F(StorageTest, MapRecoversFromTornTail) {
   auto map = PersistentMap::Open(Path("map"));
   ASSERT_TRUE(map.ok()) << map.status().ToString();
   EXPECT_EQ(map->Get("stable"), "yes");
+}
+
+// ------------------------------- Corruption sweeps & fault injection --
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+const std::vector<std::string>& SampleRecords() {
+  static const std::vector<std::string> kRecords = {"alpha", "bravo-bravo",
+                                                    "charlie!"};
+  return kRecords;
+}
+
+// Flip every single byte of a healthy log, one at a time. Replay must never
+// crash, never deliver a record that was not written, and always deliver a
+// clean prefix of the original sequence (the flip stops delivery at the
+// damaged record, not before).
+TEST_F(StorageTest, ByteFlipSweepDeliversOnlyAPrefix) {
+  {
+    auto log = LogStore::Open(Path("log"));
+    for (const std::string& r : SampleRecords()) {
+      ASSERT_TRUE(log->Append(r).ok());
+    }
+  }
+  const std::string bytes = ReadAll(Path("log"));
+  ASSERT_FALSE(bytes.empty());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    SCOPED_TRACE("byte flipped at offset " + std::to_string(i));
+    std::string damaged = bytes;
+    damaged[i] = static_cast<char>(damaged[i] ^ 0xFF);
+    WriteAll(Path("flipped"), damaged);
+
+    auto log = LogStore::Open(Path("flipped"));
+    ASSERT_TRUE(log.ok());
+    std::vector<std::string> out;
+    Status st = log->Replay([&](std::string_view r) { out.emplace_back(r); });
+    EXPECT_TRUE(st.ok() || st.IsCorruption()) << st.ToString();
+    ASSERT_LE(out.size(), SampleRecords().size());
+    for (size_t j = 0; j < out.size(); ++j) {
+      EXPECT_EQ(out[j], SampleRecords()[j]);
+    }
+    ASSERT_TRUE(log->Close().ok());
+  }
+}
+
+// Truncate a healthy log at every possible length. Pure truncation is
+// exactly what a power loss produces, so Replay must report OK (torn tail,
+// not corruption) and deliver every record that fits completely.
+TEST_F(StorageTest, TruncationSweepRecoversThePrefix) {
+  {
+    auto log = LogStore::Open(Path("log"));
+    for (const std::string& r : SampleRecords()) {
+      ASSERT_TRUE(log->Append(r).ok());
+    }
+  }
+  const std::string bytes = ReadAll(Path("log"));
+  // Cumulative end offset of each record: 8-byte header + payload.
+  std::vector<size_t> ends;
+  size_t at = 0;
+  for (const std::string& r : SampleRecords()) {
+    at += 8 + r.size();
+    ends.push_back(at);
+  }
+  ASSERT_EQ(at, bytes.size());
+
+  for (size_t cut = 0; cut <= bytes.size(); ++cut) {
+    SCOPED_TRACE("truncated to " + std::to_string(cut) + " bytes");
+    WriteAll(Path("cut"), bytes.substr(0, cut));
+    auto log = LogStore::Open(Path("cut"));
+    ASSERT_TRUE(log.ok());
+    std::vector<std::string> out;
+    Status st = log->Replay([&](std::string_view r) { out.emplace_back(r); });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    size_t expect = 0;
+    while (expect < ends.size() && ends[expect] <= cut) ++expect;
+    ASSERT_EQ(out.size(), expect);
+    for (size_t j = 0; j < out.size(); ++j) {
+      EXPECT_EQ(out[j], SampleRecords()[j]);
+    }
+    ASSERT_TRUE(log->Close().ok());
+  }
+}
+
+// A corrupt length field must be rejected before it is trusted for an
+// allocation — a flipped high bit must not turn into a multi-GB resize.
+TEST_F(StorageTest, AbsurdLengthFieldIsCorruptionNotAnAllocation) {
+  {
+    auto log = LogStore::Open(Path("log"));
+    ASSERT_TRUE(log->Append("good").ok());
+  }
+  {
+    std::ofstream f(Path("log"), std::ios::binary | std::ios::app);
+    uint32_t len = 0xFFFFFF00u;  // ~4 GB, far past kMaxLogRecordLen.
+    uint32_t crc = 0;
+    f.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    f.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    f.write("stub", 4);
+  }
+  auto log = LogStore::Open(Path("log"));
+  std::vector<std::string> out;
+  Status st = log->Replay([&](std::string_view r) { out.emplace_back(r); });
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "good");
+}
+
+// The two damage classes are told apart: interior damage (a complete record
+// failing its CRC — cannot come from power loss) is Corruption; a missing
+// tail (exactly what power loss produces) is OK.
+TEST_F(StorageTest, InteriorDamageIsCorruptionTornTailIsNot) {
+  {
+    auto log = LogStore::Open(Path("log"));
+    ASSERT_TRUE(log->Append("first-record").ok());
+    ASSERT_TRUE(log->Append("second-record").ok());
+  }
+  const std::string bytes = ReadAll(Path("log"));
+
+  // Interior: flip a payload byte of the FIRST record.
+  std::string damaged = bytes;
+  damaged[9] = static_cast<char>(damaged[9] ^ 0x01);
+  WriteAll(Path("interior"), damaged);
+  auto interior = LogStore::Open(Path("interior"));
+  int delivered = 0;
+  Status st = interior->Replay([&](std::string_view) { ++delivered; });
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  EXPECT_EQ(delivered, 0);
+
+  // Tail: drop the last 3 bytes.
+  WriteAll(Path("torn"), bytes.substr(0, bytes.size() - 3));
+  auto torn = LogStore::Open(Path("torn"));
+  std::vector<std::string> out;
+  st = torn->Replay([&](std::string_view r) { out.emplace_back(r); });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "first-record");
+}
+
+// Once an fsync fails, the store wedges itself shut: the kernel may have
+// dropped the dirty pages, so a later "successful" fsync proves nothing
+// (the fsync-gate hazard). The original error must keep coming back.
+TEST_F(StorageTest, FsyncFailurePoisonIsSticky) {
+  MemEnv mem;
+  FaultyEnv faulty(&mem);
+  LogStore::Options options;
+  options.env = &faulty;
+  options.fsync_every_n = 1;
+  auto log = LogStore::Open("log", options);
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(log->Append("before").ok());
+
+  faulty.FailSyncs(true);
+  Status st = log->Append("doomed");
+  ASSERT_FALSE(st.ok());
+  EXPECT_FALSE(log->poisoned().ok());
+
+  // The disk "recovers" — the store must not.
+  faulty.FailSyncs(false);
+  EXPECT_FALSE(log->Append("after").ok());
+  EXPECT_FALSE(log->Sync().ok());
+  EXPECT_FALSE(log->Truncate().ok());
+  EXPECT_EQ(log->Append("again").ToString(), st.ToString());
+}
+
+// ENOSPC mid-Put: the write fails, the in-memory map must not pretend the
+// mutation happened, and what did reach the file stays recoverable.
+TEST_F(StorageTest, EnospcFailsPutAndKeepsMapConsistent) {
+  MemEnv mem;
+  FaultyEnv faulty(&mem);
+  LogStore::Options options;
+  options.env = &faulty;
+  options.fsync_every_n = 1;
+  {
+    auto map = PersistentMap::Open("map", options);
+    ASSERT_TRUE(map.ok());
+    ASSERT_TRUE(map->Put("a", "1").ok());
+
+    faulty.FailAppends(true);
+    EXPECT_FALSE(map->Put("b", "2").ok());
+    EXPECT_EQ(map->Get("b"), std::nullopt);
+    EXPECT_EQ(map->Get("a"), "1");
+    // The framing is untrustworthy after a failed append: poisoned.
+    faulty.FailAppends(false);
+    EXPECT_FALSE(map->Put("c", "3").ok());
+  }
+  LogStore::Options clean;
+  clean.env = &mem;
+  auto recovered = PersistentMap::Open("map", clean);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->Get("a"), "1");
+  EXPECT_EQ(recovered->size(), 1u);
+}
+
+// A short write tears the record in half. The torn half must read back as
+// an ordinary torn tail: earlier records recover, the victim is gone.
+TEST_F(StorageTest, ShortWriteLeavesARecoverableTornTail) {
+  MemEnv mem;
+  FaultyEnv faulty(&mem);
+  LogStore::Options options;
+  options.env = &faulty;
+  {
+    auto log = LogStore::Open("log", options);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append("complete-record").ok());
+    ASSERT_TRUE(log->Sync().ok());
+    faulty.ShortWrites(true);
+    EXPECT_FALSE(log->Append("torn-victim-record").ok());
+    faulty.ShortWrites(false);
+  }
+  LogStore::Options clean;
+  clean.env = &mem;
+  auto log = LogStore::Open("log", clean);
+  ASSERT_TRUE(log.ok());
+  std::vector<std::string> out;
+  Status st = log->Replay([&](std::string_view r) { out.emplace_back(r); });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "complete-record");
+}
+
+// ------------------------------------------------------ MemEnv semantics --
+
+TEST_F(StorageTest, MemEnvPowerLossDropsUnsyncedBytes) {
+  MemEnv mem;
+  auto file = mem.NewWritableFile("f", false);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(mem.SyncDir(".").ok());  // Make the create durable.
+  ASSERT_TRUE((*file)->Append("durable").ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append("volatile").ok());
+
+  mem.PowerLoss();
+  // The env refuses everything until the machine comes back.
+  EXPECT_FALSE(mem.FileExists("f"));
+  mem.Reboot();
+
+  EXPECT_FALSE((*file)->Append("stale handle").ok());  // Pre-crash handle.
+  auto size = mem.GetFileSize("f");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 7u);  // "durable" survived, "volatile" did not.
+}
+
+TEST_F(StorageTest, MemEnvPowerLossRollsBackUnsyncedMetadata) {
+  MemEnv mem;
+  // Create + SyncDir: survives. Create without SyncDir: rolled back.
+  { auto f = mem.NewWritableFile("kept", false); ASSERT_TRUE(f.ok()); }
+  ASSERT_TRUE(mem.SyncDir(".").ok());
+  { auto f = mem.NewWritableFile("lost", false); ASSERT_TRUE(f.ok()); }
+  // Rename without SyncDir: rolled back too.
+  ASSERT_TRUE(mem.RenameFile("kept", "renamed").ok());
+
+  mem.PowerLoss();
+  mem.Reboot();
+  EXPECT_TRUE(mem.FileExists("kept"));
+  EXPECT_FALSE(mem.FileExists("lost"));
+  EXPECT_FALSE(mem.FileExists("renamed"));
 }
 
 }  // namespace
