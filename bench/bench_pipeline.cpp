@@ -5,13 +5,20 @@
 // of Figure 3 costs before the MQP even runs, and it must sustain the
 // 50 docs/s/crawler rate of §4.2 with headroom.
 
+// The shard sweep (second section) measures the same flow through the
+// sharded IngestPipeline at 1/2/4/8 shards via ProcessFetchBatch, and can
+// record the numbers to a JSON file:  bench_pipeline [BENCH_pipeline.json]
+
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/common/clock.h"
 #include "src/common/rng.h"
 #include "src/system/monitor.h"
+#include "src/webstub/crawler.h"
 #include "src/webstub/synthetic_web.h"
 
 using xymon::Rng;
@@ -49,9 +56,63 @@ std::string MakeSubscription(int i, Rng* rng) {
   return text;
 }
 
+struct ShardPoint {
+  size_t shards = 0;
+  double us_per_doc = 0;
+  double docs_per_sec = 0;
+};
+
+/// Batched document flow through the sharded pipeline: same synthetic web
+/// and subscription mix, documents pushed per-round with ProcessFetchBatch.
+ShardPoint RunShardSweep(size_t shards, int subs) {
+  SyntheticWeb web(55);
+  std::vector<std::string> urls;
+  for (int s = 0; s < 100; ++s) {
+    std::string site = "http://site" + std::to_string(s) + ".example.org/";
+    web.AddCatalogPage(site + "c.xml", site + "c.dtd", 20, 1.0);
+    web.AddNewsPage(site + "n.xml", {"camera", "museum"}, 1.0);
+    urls.push_back(site + "c.xml");
+    urls.push_back(site + "n.xml");
+  }
+
+  SimClock clock(0);
+  XylemeMonitor::Options options;
+  options.num_shards = shards;
+  XylemeMonitor monitor(&clock, options);
+  Rng rng(9);
+  for (int i = 0; i < subs; ++i) {
+    (void)monitor.Subscribe(MakeSubscription(i, &rng), "u@x");
+  }
+
+  auto fetch_round = [&] {
+    std::vector<xymon::webstub::FetchedDoc> docs;
+    docs.reserve(urls.size());
+    for (const auto& url : urls) {
+      xymon::webstub::FetchedDoc doc;
+      doc.url = url;
+      doc.body = web.Fetch(url)->body;
+      docs.push_back(std::move(doc));
+    }
+    return docs;
+  };
+
+  monitor.ProcessFetchBatch(fetch_round());  // warm pass: everything "new"
+  double micros = 0;
+  size_t docs = 0;
+  for (int round = 0; round < 4; ++round) {
+    web.Step();
+    clock.Advance(xymon::kDay);
+    auto batch = fetch_round();
+    docs += batch.size();
+    micros += TimeMicros([&] { monitor.ProcessFetchBatch(batch); });
+  }
+  double per_doc = micros / static_cast<double>(docs);
+  return ShardPoint{shards, per_doc, 1e6 / per_doc};
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader(
       "Alert pipeline: per-document detection cost vs subscription count\n"
       "(warehouse ingest + diff + all alerters + alert assembly)");
@@ -99,5 +160,43 @@ int main() {
       "— the design point that lets alerters sit next to the loaders\n"
       "without slowing them (§6.1). Even at 50k subscriptions the pipeline\n"
       "sustains ~90 crawler-equivalents on one core.\n");
+
+  unsigned cores = std::thread::hardware_concurrency();
+  PrintHeader(
+      "Shard sweep: batched flow through the sharded IngestPipeline\n"
+      "(paper §4.2 — one warehouse partition + MQP/alerter replica per "
+      "shard)");
+  printf("host cores: %u — shard counts beyond that measure overhead, not "
+         "speedup\n\n", cores);
+  printf("%8s %14s %14s %10s\n", "shards", "us/doc", "docs/sec", "speedup");
+  std::vector<ShardPoint> points;
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    points.push_back(RunShardSweep(shards, /*subs=*/2000));
+    const ShardPoint& p = points.back();
+    printf("%8zu %14.1f %14.0f %9.2fx\n", p.shards, p.us_per_doc,
+           p.docs_per_sec, points[0].us_per_doc / p.us_per_doc);
+  }
+
+  if (argc > 1) {
+    FILE* f = fopen(argv[1], "w");
+    if (f == nullptr) {
+      fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    fprintf(f, "{\n  \"bench\": \"pipeline_shard_sweep\",\n");
+    fprintf(f, "  \"host_cores\": %u,\n", cores);
+    fprintf(f, "  \"subscriptions\": 2000,\n  \"points\": [\n");
+    for (size_t i = 0; i < points.size(); ++i) {
+      fprintf(f,
+              "    {\"shards\": %zu, \"us_per_doc\": %.1f, "
+              "\"docs_per_sec\": %.0f, \"speedup\": %.2f}%s\n",
+              points[i].shards, points[i].us_per_doc, points[i].docs_per_sec,
+              points[0].us_per_doc / points[i].us_per_doc,
+              i + 1 < points.size() ? "," : "");
+    }
+    fprintf(f, "  ]\n}\n");
+    fclose(f);
+    printf("\nwrote %s\n", argv[1]);
+  }
   return 0;
 }

@@ -73,6 +73,106 @@ Result<std::string> SubscriptionManager::SubscribeAs(
                            user->privileged);
 }
 
+namespace {
+
+// Registers `condition` under `code` on one replica's alerters.
+Status RegisterOnReplica(mqp::AtomicEvent code, const Condition& condition,
+                         alerters::UrlAlerter* url, alerters::XmlAlerter* xml,
+                         alerters::HtmlAlerter* html,
+                         alerters::AlertPipeline* pipeline) {
+  if (IsUrlAlerterCondition(condition.kind)) {
+    XYMON_RETURN_IF_ERROR(url->Register(code, condition));
+  } else if (condition.kind == ConditionKind::kSelfContains) {
+    XYMON_RETURN_IF_ERROR(xml->Register(code, condition));
+    XYMON_RETURN_IF_ERROR(html->Register(code, condition));
+  } else {
+    XYMON_RETURN_IF_ERROR(xml->Register(code, condition));
+  }
+  if (condition.IsWeak() && pipeline != nullptr) {
+    pipeline->MarkWeak(code);
+  }
+  return Status::OK();
+}
+
+void UnregisterOnReplica(mqp::AtomicEvent code, const Condition& condition,
+                         alerters::UrlAlerter* url, alerters::XmlAlerter* xml,
+                         alerters::HtmlAlerter* html,
+                         alerters::AlertPipeline* pipeline) {
+  if (IsUrlAlerterCondition(condition.kind)) {
+    (void)url->Unregister(code, condition);
+  } else if (condition.kind == ConditionKind::kSelfContains) {
+    (void)xml->Unregister(code, condition);
+    (void)html->Unregister(code, condition);
+  } else {
+    (void)xml->Unregister(code, condition);
+  }
+  if (pipeline != nullptr) {
+    pipeline->UnmarkWeak(code);
+  }
+}
+
+}  // namespace
+
+Status SubscriptionManager::RegisterCondition(mqp::AtomicEvent code,
+                                              const Condition& condition) {
+  // Primary first — it decides success (replicas are clones, so a condition
+  // the primary accepts cannot fail on them for a structural reason).
+  XYMON_RETURN_IF_ERROR(RegisterOnReplica(
+      code, condition, components_.url_alerter, components_.xml_alerter,
+      components_.html_alerter, components_.pipeline));
+  for (size_t i = 0; i < components_.replicas.size(); ++i) {
+    const DetectionReplica& r = components_.replicas[i];
+    Status st = RegisterOnReplica(code, condition, r.url_alerter,
+                                  r.xml_alerter, r.html_alerter, r.pipeline);
+    if (!st.ok()) {
+      for (size_t j = 0; j < i; ++j) {
+        const DetectionReplica& rb = components_.replicas[j];
+        UnregisterOnReplica(code, condition, rb.url_alerter, rb.xml_alerter,
+                            rb.html_alerter, rb.pipeline);
+      }
+      UnregisterOnReplica(code, condition, components_.url_alerter,
+                          components_.xml_alerter, components_.html_alerter,
+                          components_.pipeline);
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+void SubscriptionManager::UnregisterCondition(mqp::AtomicEvent code,
+                                              const Condition& condition) {
+  UnregisterOnReplica(code, condition, components_.url_alerter,
+                      components_.xml_alerter, components_.html_alerter,
+                      components_.pipeline);
+  for (const DetectionReplica& r : components_.replicas) {
+    UnregisterOnReplica(code, condition, r.url_alerter, r.xml_alerter,
+                        r.html_alerter, r.pipeline);
+  }
+}
+
+Status SubscriptionManager::RegisterComplex(mqp::ComplexEventId id,
+                                            const mqp::EventSet& events) {
+  XYMON_RETURN_IF_ERROR(components_.mqp->Register(id, events));
+  for (size_t i = 0; i < components_.replicas.size(); ++i) {
+    Status st = components_.replicas[i].mqp->Register(id, events);
+    if (!st.ok()) {
+      for (size_t j = 0; j < i; ++j) {
+        (void)components_.replicas[j].mqp->Unregister(id);
+      }
+      (void)components_.mqp->Unregister(id);
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+void SubscriptionManager::UnregisterComplex(mqp::ComplexEventId id) {
+  (void)components_.mqp->Unregister(id);
+  for (const DetectionReplica& r : components_.replicas) {
+    (void)r.mqp->Unregister(id);
+  }
+}
+
 Result<mqp::AtomicEvent> SubscriptionManager::AcquireCode(
     const Condition& condition, SubRecord* record) {
   std::string key = condition.Key();
@@ -84,19 +184,9 @@ Result<mqp::AtomicEvent> SubscriptionManager::AcquireCode(
   }
 
   mqp::AtomicEvent code = next_code_++;
-  // Route the new condition to its alerter(s) (paper §3: the manager
-  // "dynamically warns the Alerters of the creation of new events").
-  if (IsUrlAlerterCondition(condition.kind)) {
-    XYMON_RETURN_IF_ERROR(components_.url_alerter->Register(code, condition));
-  } else if (condition.kind == ConditionKind::kSelfContains) {
-    XYMON_RETURN_IF_ERROR(components_.xml_alerter->Register(code, condition));
-    XYMON_RETURN_IF_ERROR(components_.html_alerter->Register(code, condition));
-  } else {
-    XYMON_RETURN_IF_ERROR(components_.xml_alerter->Register(code, condition));
-  }
-  if (condition.IsWeak() && components_.pipeline != nullptr) {
-    components_.pipeline->MarkWeak(code);
-  }
+  // Route the new condition to its alerter(s) on every shard (paper §3: the
+  // manager "dynamically warns the Alerters of the creation of new events").
+  XYMON_RETURN_IF_ERROR(RegisterCondition(code, condition));
   codes_.emplace(key, CodeEntry{condition, code, 1});
   record->condition_keys.push_back(key);
   return code;
@@ -107,19 +197,7 @@ void SubscriptionManager::ReleaseCode(const std::string& key) {
   if (it == codes_.end()) return;
   if (--it->second.refcount > 0) return;
 
-  const Condition& condition = it->second.condition;
-  mqp::AtomicEvent code = it->second.code;
-  if (IsUrlAlerterCondition(condition.kind)) {
-    (void)components_.url_alerter->Unregister(code, condition);
-  } else if (condition.kind == ConditionKind::kSelfContains) {
-    (void)components_.xml_alerter->Unregister(code, condition);
-    (void)components_.html_alerter->Unregister(code, condition);
-  } else {
-    (void)components_.xml_alerter->Unregister(code, condition);
-  }
-  if (components_.pipeline != nullptr) {
-    components_.pipeline->UnmarkWeak(code);
-  }
+  UnregisterCondition(it->second.code, it->second.condition);
   codes_.erase(it);
 }
 
@@ -171,7 +249,7 @@ Status SubscriptionManager::WireContinuousQuery(
 
 void SubscriptionManager::RollbackSubscription(SubRecord* record) {
   for (mqp::ComplexEventId id : record->complex_events) {
-    (void)components_.mqp->Unregister(id);
+    UnregisterComplex(id);
     bindings_.erase(id);
   }
   for (const std::string& key : record->condition_keys) {
@@ -233,7 +311,7 @@ Result<std::string> SubscriptionManager::SubscribeInternal(
       events.erase(std::unique(events.begin(), events.end()), events.end());
 
       mqp::ComplexEventId complex_id = next_complex_++;
-      Status st = components_.mqp->Register(complex_id, events);
+      Status st = RegisterComplex(complex_id, events);
       if (!st.ok()) {
         RollbackSubscription(&record);
         return st;

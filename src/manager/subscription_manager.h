@@ -51,7 +51,19 @@ struct QueryBinding {
 /// Unsubscribe is logged.
 class SubscriptionManager {
  public:
+  /// One shard's detection structures: the targets a Register/Unregister
+  /// must reach on that shard (paper §4.2 — the manager "warns each MQP").
+  struct DetectionReplica {
+    mqp::MonitoringQueryProcessor* mqp = nullptr;
+    alerters::UrlAlerter* url_alerter = nullptr;
+    alerters::XmlAlerter* xml_alerter = nullptr;
+    alerters::HtmlAlerter* html_alerter = nullptr;
+    alerters::AlertPipeline* pipeline = nullptr;
+  };
+
   struct Components {
+    // The primary detection replica (shard 0 in a sharded pipeline; the
+    // whole system otherwise).
     mqp::MonitoringQueryProcessor* mqp = nullptr;
     alerters::UrlAlerter* url_alerter = nullptr;
     alerters::XmlAlerter* xml_alerter = nullptr;
@@ -61,6 +73,10 @@ class SubscriptionManager {
     reporter::Reporter* reporter = nullptr;
     query::QueryEngine* query_engine = nullptr;
     const Clock* clock = nullptr;
+    /// Additional detection replicas (shards 1..N-1). Every condition code
+    /// and complex event registered on the primary is mirrored onto each —
+    /// the caller quiesces the document flow around Subscribe/Unsubscribe.
+    std::vector<DetectionReplica> replicas;
   };
 
   explicit SubscriptionManager(Components components,
@@ -152,6 +168,14 @@ class SubscriptionManager {
                                         const std::string& email,
                                         bool persist,
                                         bool privileged = false);
+  // Fan-out across the primary replica and components_.replicas. The
+  // Register forms roll back the replicas they already reached on failure.
+  Status RegisterCondition(mqp::AtomicEvent code,
+                           const alerters::Condition& condition);
+  void UnregisterCondition(mqp::AtomicEvent code,
+                           const alerters::Condition& condition);
+  Status RegisterComplex(mqp::ComplexEventId id, const mqp::EventSet& events);
+  void UnregisterComplex(mqp::ComplexEventId id);
   Result<mqp::AtomicEvent> AcquireCode(const alerters::Condition& condition,
                                        SubRecord* record);
   void ReleaseCode(const std::string& key);

@@ -1,5 +1,7 @@
 #include "src/mqp/parallel_pool.h"
 
+#include "src/common/hash.h"
+
 namespace xymon::mqp {
 
 ParallelMqpPool::ParallelMqpPool(size_t workers,
@@ -121,7 +123,11 @@ Status ParallelMqpPool::Unregister(ComplexEventId id) {
 }
 
 void ParallelMqpPool::Submit(AlertMessage alert) {
-  size_t index = next_worker_.fetch_add(1) % workers_.size();
+  // Stable hash(url) partitioning: every alert for a given document lands on
+  // the same replica, so its per-URL event order is the submission order.
+  // Round-robin would interleave one URL's alerts across replicas and let a
+  // later alert overtake an earlier one.
+  size_t index = Fnv1a(alert.url) % workers_.size();
   Worker* worker = workers_[index].get();
   bool was_empty;
   {
@@ -148,6 +154,16 @@ uint64_t ParallelMqpPool::documents_processed() const {
     total += worker->processed;
   }
   return total;
+}
+
+std::vector<uint64_t> ParallelMqpPool::processed_per_worker() const {
+  std::vector<uint64_t> counts;
+  counts.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mutex);
+    counts.push_back(worker->processed);
+  }
+  return counts;
 }
 
 }  // namespace xymon::mqp

@@ -1,7 +1,6 @@
 #ifndef XYMON_MQP_PARALLEL_POOL_H_
 #define XYMON_MQP_PARALLEL_POOL_H_
 
-#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -22,7 +21,8 @@ namespace xymon::mqp {
 /// block of the partition."
 ///
 /// Each worker owns a full AES replica (the paper's per-machine structure);
-/// incoming alerts are sheeted round-robin onto worker queues; detected
+/// incoming alerts are partitioned onto worker queues by hash(url), so all
+/// alerts for one document share a replica and keep their order; detected
 /// complex events are delivered to a user callback from worker threads.
 /// Registration is quiesced: Register/Unregister drain the queues and apply
 /// to every replica, mirroring the Subscription Manager "warning" each MQP.
@@ -42,7 +42,9 @@ class ParallelMqpPool {
   Status Register(ComplexEventId id, const EventSet& events);
   Status Unregister(ComplexEventId id);
 
-  /// Enqueues one alert; returns immediately. Round-robin partitioning.
+  /// Enqueues one alert; returns immediately. Stable hash(url) partitioning:
+  /// alerts for the same document always land on the same replica, in
+  /// submission order.
   void Submit(AlertMessage alert);
 
   /// Blocks until every queued alert has been matched.
@@ -50,6 +52,8 @@ class ParallelMqpPool {
 
   size_t worker_count() const { return workers_.size(); }
   uint64_t documents_processed() const;
+  /// Per-replica document counts, in worker order (partition skew probe).
+  std::vector<uint64_t> processed_per_worker() const;
 
  private:
   struct Worker {
@@ -70,7 +74,6 @@ class ParallelMqpPool {
 
   NotificationCallback callback_;
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::atomic<size_t> next_worker_{0};
 };
 
 }  // namespace xymon::mqp

@@ -22,7 +22,10 @@ std::vector<const xml::Node*> EvalPath(const xml::Node* root,
 /// bindings, conjunctive filtering, element projection.
 class QueryEngine {
  public:
-  explicit QueryEngine(const warehouse::Warehouse* wh) : warehouse_(wh) {}
+  /// `source` is the document collection bindings range over — one
+  /// warehouse, or the sharded pipeline's aggregated view.
+  explicit QueryEngine(const warehouse::DocumentSource* source)
+      : warehouse_(source) {}
 
   /// Evaluates against the warehouse. The result is an element named after
   /// the query containing one projection per satisfying binding tuple.
@@ -47,7 +50,7 @@ class QueryEngine {
                                  const std::string& var);
   static bool Satisfies(const Query& q, const Tuple& tuple);
 
-  const warehouse::Warehouse* warehouse_;
+  const warehouse::DocumentSource* warehouse_;
 };
 
 }  // namespace xymon::query

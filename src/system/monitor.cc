@@ -1,6 +1,7 @@
 #include "src/system/monitor.h"
 
 #include <set>
+#include <utility>
 
 #include "src/common/string_util.h"
 #include "src/sublang/template.h"
@@ -8,28 +9,62 @@
 
 namespace xymon::system {
 
+namespace {
+
+IngestPipeline::Options PipelineOptions(
+    const XylemeMonitor::Options& options,
+    const warehouse::DomainClassifier* classifier) {
+  IngestPipeline::Options out;
+  out.shards = options.num_shards;
+  out.use_trie_prefixes = options.use_trie_prefixes;
+  out.max_parse_failures_per_url = options.max_parse_failures_per_url;
+  out.classifier = classifier;
+  return out;
+}
+
+// Wires the manager to shard 0 as the primary detection replica and shards
+// 1..N-1 as mirrors — every Register/Unregister fans out to all of them
+// (paper §4.2: the Subscription Manager "warns each MQP").
+manager::SubscriptionManager::Components BuildComponents(
+    IngestPipeline* pipeline, trigger::TriggerEngine* trigger_engine,
+    reporter::Reporter* reporter, query::QueryEngine* query_engine,
+    const Clock* clock) {
+  PipelineShard& primary = pipeline->shard(0);
+  manager::SubscriptionManager::Components components{
+      &primary.mqp,          &primary.url_alerter, &primary.xml_alerter,
+      &primary.html_alerter, &primary.alert_pipeline,
+      trigger_engine,        reporter,             query_engine,
+      clock};
+  for (size_t i = 1; i < pipeline->shard_count(); ++i) {
+    PipelineShard& shard = pipeline->shard(i);
+    components.replicas.push_back({&shard.mqp, &shard.url_alerter,
+                                   &shard.xml_alerter, &shard.html_alerter,
+                                   &shard.alert_pipeline});
+  }
+  return components;
+}
+
+}  // namespace
+
 XylemeMonitor::XylemeMonitor(const Clock* clock, const Options& options)
     : clock_(clock),
-      warehouse_(&classifier_),
-      url_alerter_(
-          alerters::UrlAlerter::Options{options.use_trie_prefixes}),
-      pipeline_(&url_alerter_, &xml_alerter_, &html_alerter_),
+      crawl_batch_size_(options.crawl_batch_size),
+      pipeline_(PipelineOptions(options, &classifier_)),
       outbox_(reporter::Outbox::Options{options.outbox_daily_capacity, true}),
-      query_engine_(&warehouse_),
+      query_engine_(pipeline_.document_source()),
       reporter_(&outbox_, &query_engine_),
-      manager_(
-          manager::SubscriptionManager::Components{
-              &mqp_, &url_alerter_, &xml_alerter_, &html_alerter_, &pipeline_,
-              &trigger_engine_, &reporter_, &query_engine_, clock},
-          options.validator) {
+      manager_(BuildComponents(&pipeline_, &trigger_engine_, &reporter_,
+                               &query_engine_, clock),
+               options.validator) {
+  pipeline_.set_resolver(this);
   reporter_.set_web_portal(&web_portal_);
-  warehouse_.set_max_parse_failures(options.max_parse_failures_per_url);
   manager_.set_user_registry(&users_);
 
   // Cold-start recovery. Order matters only in that the outbox backlog must
   // be restored before anything can Send (re-queued mail keeps its original
-  // seq). Subscription recovery rebuilds the MQP hash tree, the alerter
-  // structures and the trigger engine as a side effect of replay.
+  // seq). Subscription recovery rebuilds the MQP hash tree (on every
+  // shard), the alerter structures and the trigger engine as a side effect
+  // of replay.
   //
   // Construction cannot fail without exceptions; a bad storage path leaves
   // the system running non-durably with the error in storage_status().
@@ -43,7 +78,8 @@ XylemeMonitor::XylemeMonitor(const Clock* clock, const Options& options)
     note(outbox_.AttachStorage(options.outbox_path, log_options));
   }
   if (!options.warehouse_path.empty()) {
-    note(warehouse_.AttachStorage(options.warehouse_path, log_options));
+    note(pipeline_.AttachWarehouseStorage(options.warehouse_path,
+                                          log_options));
   }
   if (!options.user_registry_path.empty()) {
     note(users_.AttachStorage(options.user_registry_path, log_options));
@@ -61,31 +97,37 @@ Result<std::unique_ptr<XylemeMonitor>> XylemeMonitor::Open(
 }
 
 Status XylemeMonitor::CheckpointStorage() {
+  std::lock_guard<std::mutex> lock(api_mutex_);
   XYMON_RETURN_IF_ERROR(manager_.CheckpointStorage());
-  XYMON_RETURN_IF_ERROR(warehouse_.CheckpointStorage());
+  XYMON_RETURN_IF_ERROR(pipeline_.CheckpointWarehouses());
   XYMON_RETURN_IF_ERROR(users_.CheckpointStorage());
   return outbox_.CheckpointStorage();
 }
 
 Status XylemeMonitor::AddUser(const manager::User& user) {
+  std::lock_guard<std::mutex> lock(api_mutex_);
   return users_.AddUser(user);
 }
 
 Result<std::string> XylemeMonitor::SubscribeAs(const std::string& user_name,
                                                const std::string& text) {
+  std::lock_guard<std::mutex> lock(api_mutex_);
   return manager_.SubscribeAs(user_name, text);
 }
 
 Result<std::string> XylemeMonitor::Subscribe(const std::string& text,
                                              const std::string& email) {
+  std::lock_guard<std::mutex> lock(api_mutex_);
   return manager_.Subscribe(text, email);
 }
 
 Status XylemeMonitor::Unsubscribe(const std::string& name) {
+  std::lock_guard<std::mutex> lock(api_mutex_);
   return manager_.Unsubscribe(name);
 }
 
 void XylemeMonitor::AddDomainRule(warehouse::DomainClassifier::Rule rule) {
+  std::lock_guard<std::mutex> lock(api_mutex_);
   classifier_.AddRule(std::move(rule));
 }
 
@@ -172,62 +214,12 @@ void XylemeMonitor::CollectPayloads(
   }
 }
 
-void XylemeMonitor::ProcessFetch(const std::string& url,
-                                 const std::string& body) {
-  Timestamp now = clock_->Now();
-  ++stats_.documents_processed;
-
-  warehouse::IngestResult ingest = warehouse_.Ingest({url, body}, now);
-  if (ingest.degraded) {
-    // Malformed body absorbed by the warehouse: count it and move on — the
-    // last good version stays live, no alert fires for garbage bytes.
-    ++stats_.degraded_documents;
-    return;
-  }
-  auto alert = pipeline_.BuildAlert(ingest, body);
-  if (!alert.has_value()) return;
-  ++stats_.alerts_raised;
-
-  std::vector<mqp::MqpNotification> matches;
-  mqp_.Process(*alert, &matches);
+void XylemeMonitor::Resolve(const warehouse::IngestResult& ingest,
+                            const std::vector<mqp::MqpNotification>& matches,
+                            DocOutcome* out) const {
   // A disjunctive where clause registers several complex events for one
   // monitoring query; a document satisfying more than one disjunct must
   // still notify the query only once.
-  std::set<std::pair<std::string, std::string>> notified;
-  for (const mqp::MqpNotification& match : matches) {
-    const manager::QueryBinding* binding = manager_.FindBinding(match.complex_event);
-    if (binding == nullptr) continue;
-    if (!notified.emplace(binding->subscription, binding->query_name).second) {
-      continue;
-    }
-
-    std::vector<std::string> payloads;
-    CollectPayloads(*binding, match, ingest, &payloads);
-    for (std::string& payload : payloads) {
-      reporter_.AddNotification(reporter::Notification{
-          binding->subscription, binding->query_name, std::move(payload),
-          now});
-      ++stats_.notifications;
-    }
-    // Wake continuous queries listening on this monitoring query (§5.2's
-    // `when XylemeCompetitors.ChangeInMyProducts`).
-    trigger_engine_.NotifyEvent(
-        binding->subscription + "." + binding->query_name, now);
-  }
-}
-
-Status XylemeMonitor::ProcessDeletion(const std::string& url) {
-  Timestamp now = clock_->Now();
-  auto ingest = warehouse_.MarkDeleted(url, now);
-  if (!ingest.ok()) return ingest.status();
-  ++stats_.documents_processed;
-
-  auto alert = pipeline_.BuildAlert(*ingest, "");
-  if (!alert.has_value()) return Status::OK();
-  ++stats_.alerts_raised;
-
-  std::vector<mqp::MqpNotification> matches;
-  mqp_.Process(*alert, &matches);
   std::set<std::pair<std::string, std::string>> notified;
   for (const mqp::MqpNotification& match : matches) {
     const manager::QueryBinding* binding =
@@ -236,35 +228,119 @@ Status XylemeMonitor::ProcessDeletion(const std::string& url) {
     if (!notified.emplace(binding->subscription, binding->query_name).second) {
       continue;
     }
+
     std::vector<std::string> payloads;
-    CollectPayloads(*binding, match, *ingest, &payloads);
+    CollectPayloads(*binding, match, ingest, &payloads);
     for (std::string& payload : payloads) {
-      reporter_.AddNotification(reporter::Notification{
-          binding->subscription, binding->query_name, std::move(payload),
-          now});
-      ++stats_.notifications;
+      out->actions.push_back(DeliveryAction{
+          DeliveryAction::Kind::kNotification, binding->subscription,
+          binding->query_name, std::move(payload), /*event_key=*/{}});
     }
-    trigger_engine_.NotifyEvent(
-        binding->subscription + "." + binding->query_name, now);
+    // Wake continuous queries listening on this monitoring query (§5.2's
+    // `when XylemeCompetitors.ChangeInMyProducts`).
+    out->actions.push_back(DeliveryAction{
+        DeliveryAction::Kind::kTriggerEvent, /*subscription=*/{},
+        /*query_name=*/{}, /*payload_xml=*/{},
+        binding->subscription + "." + binding->query_name});
   }
-  return Status::OK();
+}
+
+void XylemeMonitor::Deliver(const DocJob& job, DocOutcome& outcome) {
+  (void)job;
+  if (!outcome.processed) return;  // failed deletion: nothing entered the flow
+  ++stats_.documents_processed;
+  if (outcome.degraded) {
+    // Malformed body absorbed by the warehouse: count it and move on — the
+    // last good version stays live, no alert fires for garbage bytes.
+    ++stats_.degraded_documents;
+    return;
+  }
+  if (!outcome.alert) return;
+  ++stats_.alerts_raised;
+
+  Timestamp now = clock_->Now();
+  for (DeliveryAction& action : outcome.actions) {
+    switch (action.kind) {
+      case DeliveryAction::Kind::kNotification:
+        reporter_.AddNotification(reporter::Notification{
+            action.subscription, action.query_name,
+            std::move(action.payload_xml), now});
+        ++stats_.notifications;
+        break;
+      case DeliveryAction::Kind::kTriggerEvent:
+        trigger_engine_.NotifyEvent(action.event_key, now);
+        break;
+    }
+  }
+}
+
+void XylemeMonitor::ProcessJobsLocked(const std::vector<DocJob>& jobs) {
+  pipeline_.ProcessBatch(jobs, clock_->Now(), this);
+}
+
+void XylemeMonitor::ProcessFetch(const std::string& url,
+                                 const std::string& body) {
+  std::lock_guard<std::mutex> lock(api_mutex_);
+  ProcessJobsLocked({DocJob{url, body, /*deletion=*/false}});
+}
+
+void XylemeMonitor::ProcessFetchBatch(
+    const std::vector<webstub::FetchedDoc>& docs) {
+  std::lock_guard<std::mutex> lock(api_mutex_);
+  std::vector<DocJob> jobs;
+  jobs.reserve(docs.size());
+  for (const webstub::FetchedDoc& doc : docs) {
+    jobs.push_back(DocJob{doc.url, doc.body, /*deletion=*/false});
+  }
+  ProcessJobsLocked(jobs);
+}
+
+Status XylemeMonitor::ProcessDeletionLocked(const std::string& url) {
+  std::vector<DocOutcome> outcomes;
+  pipeline_.ProcessBatch({DocJob{url, /*body=*/"", /*deletion=*/true}},
+                         clock_->Now(), this, &outcomes);
+  return outcomes.empty() ? Status::OK() : outcomes[0].status;
+}
+
+Status XylemeMonitor::ProcessDeletion(const std::string& url) {
+  std::lock_guard<std::mutex> lock(api_mutex_);
+  return ProcessDeletionLocked(url);
 }
 
 void XylemeMonitor::ProcessCrawl(webstub::Crawler* crawler) {
-  ApplyRefreshHints(crawler);
-  for (const webstub::FetchedDoc& doc :
-       crawler->FetchAllDue(clock_->Now())) {
-    ProcessFetch(doc);
+  std::lock_guard<std::mutex> lock(api_mutex_);
+  for (const auto& [url, period] : manager_.refresh_hints()) {
+    crawler->SetRefreshHint(url, period);
   }
-  ProcessDocStatusEvents(crawler->TakeEvents());
-  const webstub::CrawlerStats& cs = crawler->stats();
-  stats_.fetch_errors = cs.fetch_errors;
-  stats_.retries = cs.retries_scheduled;
+  Timestamp now = clock_->Now();
+  auto process_docs = [this](const std::vector<webstub::FetchedDoc>& docs) {
+    std::vector<DocJob> jobs;
+    jobs.reserve(docs.size());
+    for (const webstub::FetchedDoc& doc : docs) {
+      jobs.push_back(DocJob{doc.url, doc.body, /*deletion=*/false});
+    }
+    ProcessJobsLocked(jobs);
+  };
+  if (crawl_batch_size_ == 0) {
+    // One batch per round: everything due at once (the historical shape).
+    process_docs(crawler->FetchAllDue(now));
+  } else {
+    // Bounded batches keep scatter memory proportional to the batch, not
+    // the backlog. The attempted set spans the round (see FetchAllDue).
+    std::unordered_set<std::string> attempted;
+    while (true) {
+      std::vector<webstub::FetchedDoc> docs =
+          crawler->FetchBatch(now, crawl_batch_size_, &attempted);
+      if (docs.empty()) break;
+      process_docs(docs);
+    }
+  }
+  ProcessDocStatusEventsLocked(crawler->TakeEvents());
   quarantined_urls_ = crawler->quarantined_count();
-  last_crawler_stats_ = cs;
+  last_crawler_stats_ = crawler->stats();
 }
 
-void XylemeMonitor::ProcessDocStatusEvents(
+void XylemeMonitor::ProcessDocStatusEventsLocked(
     const std::vector<webstub::DocStatusEvent>& events) {
   for (const webstub::DocStatusEvent& event : events) {
     switch (event.kind) {
@@ -273,7 +349,7 @@ void XylemeMonitor::ProcessDocStatusEvents(
         // The paper's `document disappeared` weak event: run the deletion
         // path so `deleted self` subscriptions are notified. A page the
         // warehouse never ingested has nothing to delete — ignore NotFound.
-        Status st = ProcessDeletion(event.url);
+        Status st = ProcessDeletionLocked(event.url);
         (void)st;
         break;
       }
@@ -284,10 +360,19 @@ void XylemeMonitor::ProcessDocStatusEvents(
   }
 }
 
+void XylemeMonitor::ProcessDocStatusEvents(
+    const std::vector<webstub::DocStatusEvent>& events) {
+  std::lock_guard<std::mutex> lock(api_mutex_);
+  ProcessDocStatusEventsLocked(events);
+}
+
 XylemeMonitor::HealthReport XylemeMonitor::health() const {
+  std::lock_guard<std::mutex> lock(api_mutex_);
   HealthReport report;
-  report.fetch_errors = stats_.fetch_errors;
-  report.retries = stats_.retries;
+  // The crawler's own stats (as of the last ProcessCrawl) are the single
+  // source of truth for acquisition counters; the named fields are views.
+  report.fetch_errors = last_crawler_stats_.fetch_errors;
+  report.retries = last_crawler_stats_.retries_scheduled;
   report.quarantined_urls = quarantined_urls_;
   report.degraded_documents = stats_.degraded_documents;
   report.disappeared_documents = stats_.disappeared_documents;
@@ -297,12 +382,14 @@ XylemeMonitor::HealthReport XylemeMonitor::health() const {
 }
 
 void XylemeMonitor::Tick() {
+  std::lock_guard<std::mutex> lock(api_mutex_);
   Timestamp now = clock_->Now();
   trigger_engine_.Tick(now);
   reporter_.Tick(now);
 }
 
 std::string XylemeMonitor::StatusReport() const {
+  std::lock_guard<std::mutex> lock(api_mutex_);
   auto root = xml::Node::Element("XylemeStatus");
   root->SetAttribute("date", FormatTimestamp(clock_->Now()));
 
@@ -312,20 +399,25 @@ std::string XylemeMonitor::StatusReport() const {
   flow->SetAttribute("notifications", std::to_string(stats_.notifications));
 
   xml::Node* wh = root->AddChild(xml::Node::Element("Warehouse"));
-  wh->SetAttribute("documents", std::to_string(warehouse_.document_count()));
+  wh->SetAttribute("documents",
+                   std::to_string(pipeline_.total_document_count()));
+  wh->SetAttribute("shards", std::to_string(pipeline_.shard_count()));
 
   xml::Node* subs = root->AddChild(xml::Node::Element("Subscriptions"));
   subs->SetAttribute("count", std::to_string(manager_.subscription_count()));
   subs->SetAttribute("atomic_events",
                      std::to_string(manager_.atomic_event_count()));
 
-  const mqp::Matcher& matcher = mqp_.matcher();
+  const mqp::Matcher& matcher = pipeline_.shard(0).mqp.matcher();
+  uint64_t documents_matched = 0;
+  for (size_t i = 0; i < pipeline_.shard_count(); ++i) {
+    documents_matched += pipeline_.shard(i).mqp.matcher().stats().documents;
+  }
   xml::Node* m = root->AddChild(xml::Node::Element("MQP"));
   m->SetAttribute("algorithm", matcher.name());
   m->SetAttribute("complex_events", std::to_string(matcher.size()));
   m->SetAttribute("memory_bytes", std::to_string(matcher.MemoryUsage()));
-  m->SetAttribute("documents_matched",
-                  std::to_string(matcher.stats().documents));
+  m->SetAttribute("documents_matched", std::to_string(documents_matched));
 
   xml::Node* trig = root->AddChild(xml::Node::Element("TriggerEngine"));
   trig->SetAttribute("triggers",
@@ -347,9 +439,29 @@ std::string XylemeMonitor::StatusReport() const {
   portal->SetAttribute("published",
                        std::to_string(web_portal_.published_count()));
 
+  PipelineStats ps = pipeline_.stats();
+  xml::Node* pipe = root->AddChild(xml::Node::Element("Pipeline"));
+  pipe->SetAttribute("shards", std::to_string(ps.shards));
+  pipe->SetAttribute("batches", std::to_string(ps.batches));
+  pipe->SetAttribute("documents", std::to_string(ps.documents));
+  pipe->SetAttribute("queue_high_water",
+                     std::to_string(ps.queue_high_water));
+  auto stage = [&](const char* name, const StageCounters& c) {
+    xml::Node* s = pipe->AddChild(xml::Node::Element("Stage"));
+    s->SetAttribute("name", name);
+    s->SetAttribute("documents", std::to_string(c.documents));
+    s->SetAttribute("micros", std::to_string(c.micros));
+  };
+  stage("ingest", ps.ingest);
+  stage("detect", ps.detect);
+  stage("match", ps.match);
+  stage("notify", ps.notify);
+
   xml::Node* hp = root->AddChild(xml::Node::Element("Health"));
-  hp->SetAttribute("fetch_errors", std::to_string(stats_.fetch_errors));
-  hp->SetAttribute("retries", std::to_string(stats_.retries));
+  hp->SetAttribute("fetch_errors",
+                   std::to_string(last_crawler_stats_.fetch_errors));
+  hp->SetAttribute("retries",
+                   std::to_string(last_crawler_stats_.retries_scheduled));
   hp->SetAttribute("quarantined_urls", std::to_string(quarantined_urls_));
   hp->SetAttribute("degraded_documents",
                    std::to_string(stats_.degraded_documents));
@@ -360,6 +472,7 @@ std::string XylemeMonitor::StatusReport() const {
 }
 
 void XylemeMonitor::ApplyRefreshHints(webstub::Crawler* crawler) const {
+  std::lock_guard<std::mutex> lock(api_mutex_);
   for (const auto& [url, period] : manager_.refresh_hints()) {
     crawler->SetRefreshHint(url, period);
   }

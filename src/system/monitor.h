@@ -2,9 +2,10 @@
 #define XYMON_SYSTEM_MONITOR_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
-#include "src/alerters/pipeline.h"
 #include "src/common/clock.h"
 #include "src/common/result.h"
 #include "src/manager/subscription_manager.h"
@@ -12,6 +13,7 @@
 #include "src/query/engine.h"
 #include "src/reporter/reporter.h"
 #include "src/sublang/validator.h"
+#include "src/system/pipeline.h"
 #include "src/trigger/trigger_engine.h"
 #include "src/warehouse/warehouse.h"
 #include "src/webstub/crawler.h"
@@ -19,8 +21,11 @@
 namespace xymon::system {
 
 /// The assembled subscription system of Figure 3 — the library's main entry
-/// point. Wires warehouse → alerters → MQP → reporter plus the trigger
-/// engine and subscription manager, and drives them per fetched document.
+/// point. The document flow (warehouse → alerters → MQP → notification) runs
+/// through an IngestPipeline of one or more hash(url)-partitioned shards
+/// (paper §4.2); the monitor wires it to the subscription manager, trigger
+/// engine, reporter and query engine, and quiesces the flow around every
+/// subscription mutation.
 ///
 ///   SimClock clock;
 ///   XylemeMonitor monitor(&clock);
@@ -28,14 +33,23 @@ namespace xymon::system {
 ///   monitor.ProcessFetch(url, body);   // per crawled page
 ///   clock.Advance(kDay);
 ///   monitor.Tick();                    // continuous queries, reports
-class XylemeMonitor {
+class XylemeMonitor : private NotifyResolver, private DeliverySink {
  public:
   struct Options {
+    /// Document-flow partitions (paper §4.2). 1 = the historical inline
+    /// monitor, bit-for-bit; N > 1 runs N shard worker threads.
+    size_t num_shards = 1;
+    /// ProcessCrawl batch size: how many due documents are fetched and
+    /// pushed through the pipeline per batch. 0 = one batch per round
+    /// (everything due at once — the historical behaviour).
+    size_t crawl_batch_size = 0;
     /// Trie vs hash `URL extends` structure (see DESIGN.md T-URL).
     bool use_trie_prefixes = false;
     /// Subscription recovery log path; "" disables persistence.
     std::string storage_path;
-    /// Warehouse store path; "" keeps the repository in memory only.
+    /// Warehouse store path; "" keeps the repository in memory only. With
+    /// N > 1 shards, shard 0 uses the path as-is and shard i opens
+    /// `<path>.s<i>` — reopen with the same shard count.
     std::string warehouse_path;
     /// User-registry store path; "" keeps accounts in memory only.
     std::string user_registry_path;
@@ -61,10 +75,6 @@ class XylemeMonitor {
     uint64_t documents_processed = 0;
     uint64_t alerts_raised = 0;
     uint64_t notifications = 0;
-    // Acquisition resilience (all monotone; mirrors of the driving
-    // crawler's counters are refreshed by ProcessCrawl).
-    uint64_t fetch_errors = 0;
-    uint64_t retries = 0;
     uint64_t degraded_documents = 0;  // malformed bodies absorbed & skipped
     uint64_t disappeared_documents = 0;
     uint64_t reappeared_documents = 0;
@@ -74,10 +84,11 @@ class XylemeMonitor {
 
   /// Operator view of how the system is absorbing web faults: the monitor's
   /// own degrade counters plus the driving crawler's fault/outcome counters
-  /// (as of the last ProcessCrawl).
+  /// (as of the last ProcessCrawl — the single source of truth for
+  /// fetch_errors/retries is the crawler's own stats).
   struct HealthReport {
-    uint64_t fetch_errors = 0;
-    uint64_t retries = 0;
+    uint64_t fetch_errors = 0;      // == crawler.fetch_errors
+    uint64_t retries = 0;           // == crawler.retries_scheduled
     uint64_t quarantined_urls = 0;  // gauge, from the last ProcessCrawl
     uint64_t degraded_documents = 0;
     uint64_t disappeared_documents = 0;
@@ -99,10 +110,11 @@ class XylemeMonitor {
   /// constructor keeps the historical forgiving behaviour: a bad path
   /// leaves the system running non-durably, see storage_status()).
   ///
-  /// Everything rebuilds from disk: warehouse contents, subscriptions (and
-  /// from them the MQP atomic-event-set hash tree, alerter registrations
-  /// and trigger-engine state), user accounts, and the undelivered outbox
-  /// backlog.
+  /// Everything rebuilds from disk: warehouse contents (every shard
+  /// partition, plus the pipeline's central DOCID map), subscriptions (and
+  /// from them the MQP atomic-event-set hash tree on every shard, alerter
+  /// registrations and trigger-engine state), user accounts, and the
+  /// undelivered outbox backlog.
   static Result<std::unique_ptr<XylemeMonitor>> Open(const Clock* clock,
                                                      const Options& options);
 
@@ -110,12 +122,15 @@ class XylemeMonitor {
   /// all stores opened, or none were configured).
   const Status& storage_status() const { return storage_status_; }
 
-  /// Atomically compacts every attached store (subscriptions, warehouse,
-  /// users, outbox). Crash-safe at any I/O operation: a torn checkpoint is
-  /// discarded on recovery in favour of the previous one plus the log.
+  /// Atomically compacts every attached store (subscriptions, warehouse
+  /// shards, users, outbox). Crash-safe at any I/O operation: a torn
+  /// checkpoint is discarded on recovery in favour of the previous one plus
+  /// the log.
   Status CheckpointStorage();
 
   // -- Subscriptions ----------------------------------------------------------
+  // Every mutating call quiesces the document flow: it waits for any running
+  // batch to finish, then applies to all shards (primary + replicas).
 
   Result<std::string> Subscribe(const std::string& text,
                                 const std::string& email);
@@ -143,11 +158,17 @@ class XylemeMonitor {
     ProcessFetch(doc.url, doc.body);
   }
 
+  /// Batch entry point: pushes a whole crawl result through the pipeline in
+  /// one scatter/gather. Delivery order is submission order — identical to
+  /// calling ProcessFetch per document, for every shard count.
+  void ProcessFetchBatch(const std::vector<webstub::FetchedDoc>& docs);
+
   /// Drives one acquisition round end-to-end: pushes `refresh` hints,
-  /// fetches everything due at the current clock, processes each document,
-  /// routes the crawler's doc-status transitions into the alerter chain and
-  /// refreshes the health counters. The degrade-don't-die entry point — a
-  /// faulting web never aborts the round.
+  /// fetches everything due at the current clock (in batches of
+  /// Options::crawl_batch_size), processes each batch, routes the crawler's
+  /// doc-status transitions into the alerter chain and refreshes the health
+  /// counters. The degrade-don't-die entry point — a faulting web never
+  /// aborts the round.
   void ProcessCrawl(webstub::Crawler* crawler);
 
   /// Routes observed doc-status transitions (paper's weak events) into the
@@ -168,39 +189,57 @@ class XylemeMonitor {
   void ApplyRefreshHints(webstub::Crawler* crawler) const;
 
   /// Self-description: one XML document with the health counters of every
-  /// module (documents, alerts, MQP structure, reporter, outbox, portal) —
-  /// the operational view a warehouse operator watches.
+  /// module (documents, alerts, MQP structure, reporter, outbox, portal,
+  /// per-stage pipeline counters) — the operational view a warehouse
+  /// operator watches.
   std::string StatusReport() const;
 
   // -- Component access (read-mostly; used by tests, benches, examples) -----
 
   const Stats& stats() const { return stats_; }
   HealthReport health() const;
-  warehouse::Warehouse& warehouse() { return warehouse_; }
+  /// Shard 0's warehouse partition (the whole repository when num_shards
+  /// is 1). Multi-shard callers use pipeline().WarehouseFor(url).
+  warehouse::Warehouse& warehouse() { return pipeline_.shard(0).warehouse; }
+  IngestPipeline& pipeline() { return pipeline_; }
+  const IngestPipeline& pipeline() const { return pipeline_; }
+  PipelineStats pipeline_stats() const { return pipeline_.stats(); }
   reporter::Reporter& reporter() { return reporter_; }
   reporter::Outbox& outbox() { return outbox_; }
   reporter::WebPortal& web_portal() { return web_portal_; }
   manager::SubscriptionManager& manager() { return manager_; }
   const manager::SubscriptionManager& manager() const { return manager_; }
   manager::UserRegistry& user_registry() { return users_; }
-  const mqp::MonitoringQueryProcessor& mqp() const { return mqp_; }
+  /// Shard 0's MQP (the only one when num_shards is 1).
+  const mqp::MonitoringQueryProcessor& mqp() const {
+    return pipeline_.shard(0).mqp;
+  }
   trigger::TriggerEngine& trigger_engine() { return trigger_engine_; }
   const query::QueryEngine& query_engine() const { return query_engine_; }
 
  private:
+  // Stage 4a (runs on shard threads; read-only over manager/query state).
+  void Resolve(const warehouse::IngestResult& ingest,
+               const std::vector<mqp::MqpNotification>& matches,
+               DocOutcome* out) const override;
+  // Stage 4b (runs on the gather thread, in submission order).
+  void Deliver(const DocJob& job, DocOutcome& outcome) override;
+
+  // Unlocked internals; public methods take api_mutex_ and delegate.
+  void ProcessJobsLocked(const std::vector<DocJob>& jobs);
+  Status ProcessDeletionLocked(const std::string& url);
+  void ProcessDocStatusEventsLocked(
+      const std::vector<webstub::DocStatusEvent>& events);
+
   void CollectPayloads(const manager::QueryBinding& binding,
                        const mqp::MqpNotification& notification,
                        const warehouse::IngestResult& ingest,
                        std::vector<std::string>* payloads) const;
 
   const Clock* clock_;
+  size_t crawl_batch_size_;
   warehouse::DomainClassifier classifier_;
-  warehouse::Warehouse warehouse_;
-  alerters::UrlAlerter url_alerter_;
-  alerters::XmlAlerter xml_alerter_;
-  alerters::HtmlAlerter html_alerter_;
-  alerters::AlertPipeline pipeline_;
-  mqp::MonitoringQueryProcessor mqp_;
+  IngestPipeline pipeline_;
   trigger::TriggerEngine trigger_engine_;
   reporter::Outbox outbox_;
   reporter::WebPortal web_portal_;
@@ -212,6 +251,12 @@ class XylemeMonitor {
   Stats stats_;
   webstub::CrawlerStats last_crawler_stats_;
   uint64_t quarantined_urls_ = 0;
+
+  /// Serializes every public entry point. A batch holds it for its whole
+  /// scatter/gather, so Subscribe/Unsubscribe (and any other mutation)
+  /// quiesces: it blocks until the flow drains, then sees no concurrent
+  /// shard-thread reads while it rewires the detection structures.
+  mutable std::mutex api_mutex_;
 };
 
 }  // namespace xymon::system

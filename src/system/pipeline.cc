@@ -1,0 +1,354 @@
+#include "src/system/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/common/hash.h"
+
+namespace xymon::system {
+
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+uint64_t MicrosSince(steady::time_point t0, steady::time_point t1) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count());
+}
+
+// Default stage adapters: thin seams over the shard's own components.
+
+class WarehouseIngestStage : public IngestStage {
+ public:
+  explicit WarehouseIngestStage(warehouse::Warehouse* warehouse)
+      : warehouse_(warehouse) {}
+
+  warehouse::IngestResult Ingest(const warehouse::FetchedContent& page,
+                                 Timestamp now,
+                                 uint64_t preassigned_docid) override {
+    return warehouse_->Ingest(page, now, preassigned_docid);
+  }
+
+  Result<warehouse::IngestResult> Delete(const std::string& url,
+                                         Timestamp now) override {
+    return warehouse_->MarkDeleted(url, now);
+  }
+
+ private:
+  warehouse::Warehouse* warehouse_;
+};
+
+class AlerterDetectStage : public DetectStage {
+ public:
+  explicit AlerterDetectStage(const alerters::AlertPipeline* pipeline)
+      : pipeline_(pipeline) {}
+
+  std::optional<mqp::AlertMessage> Detect(
+      const warehouse::IngestResult& ingest, std::string_view raw_body)
+      override {
+    return pipeline_->BuildAlert(ingest, raw_body);
+  }
+
+ private:
+  const alerters::AlertPipeline* pipeline_;
+};
+
+class MqpMatchStage : public MatchStage {
+ public:
+  explicit MqpMatchStage(const mqp::MonitoringQueryProcessor* mqp)
+      : mqp_(mqp) {}
+
+  void Match(const mqp::AlertMessage& alert,
+             std::vector<mqp::MqpNotification>* out) override {
+    mqp_->Process(alert, out);
+  }
+
+ private:
+  const mqp::MonitoringQueryProcessor* mqp_;
+};
+
+}  // namespace
+
+PipelineShard::PipelineShard(const warehouse::DomainClassifier* classifier,
+                             const alerters::UrlAlerter::Options& url_options)
+    : warehouse(classifier),
+      url_alerter(url_options),
+      alert_pipeline(&url_alerter, &xml_alerter, &html_alerter),
+      ingest_stage(std::make_unique<WarehouseIngestStage>(&warehouse)),
+      detect_stage(std::make_unique<AlerterDetectStage>(&alert_pipeline)),
+      match_stage(std::make_unique<MqpMatchStage>(&mqp)) {}
+
+// Aggregated read view over every shard's warehouse. Results are re-sorted
+// by DOCID: with centrally allocated ids that is submission order, giving
+// continuous queries a shard-count-independent binding order.
+class IngestPipeline::ShardedSource : public warehouse::DocumentSource {
+ public:
+  explicit ShardedSource(
+      const std::vector<std::unique_ptr<PipelineShard>>* shards)
+      : shards_(shards) {}
+
+  std::vector<std::pair<const warehouse::DocMeta*, const xml::Document*>>
+  DocumentsInDomain(std::string_view domain) const override {
+    std::vector<std::pair<const warehouse::DocMeta*, const xml::Document*>>
+        out;
+    for (const auto& shard : *shards_) {
+      auto part = shard->warehouse.DocumentsInDomain(domain);
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      return a.first->docid < b.first->docid;
+    });
+    return out;
+  }
+
+ private:
+  const std::vector<std::unique_ptr<PipelineShard>>* shards_;
+};
+
+IngestPipeline::IngestPipeline(const Options& options) {
+  size_t count = std::max<size_t>(1, options.shards);
+  alerters::UrlAlerter::Options url_options{options.use_trie_prefixes};
+  shards_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    auto shard = std::make_unique<PipelineShard>(options.classifier,
+                                                 url_options);
+    shard->warehouse.set_max_parse_failures(
+        options.max_parse_failures_per_url);
+    if (count > 1) shard->warehouse.set_dtd_registry(&dtd_registry_);
+    shards_.push_back(std::move(shard));
+  }
+  if (count > 1) {
+    sharded_source_ = std::make_unique<ShardedSource>(&shards_);
+    for (auto& shard : shards_) {
+      shard->worker = std::thread(&IngestPipeline::WorkerLoop, this,
+                                  shard.get());
+    }
+  }
+}
+
+IngestPipeline::~IngestPipeline() {
+  for (auto& shard : shards_) {
+    if (!shard->worker.joinable()) continue;
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->stop = true;
+    }
+    shard->cv.notify_all();
+    shard->worker.join();
+  }
+}
+
+size_t IngestPipeline::ShardFor(std::string_view url) const {
+  return shards_.size() == 1 ? 0 : Fnv1a(url) % shards_.size();
+}
+
+const warehouse::DocumentSource* IngestPipeline::document_source() const {
+  if (shards_.size() == 1) return &shards_[0]->warehouse;
+  return sharded_source_.get();
+}
+
+void IngestPipeline::ProcessOne(PipelineShard& shard,
+                                const ShardWorkItem& item) const {
+  const DocJob& job = *item.job;
+  DocOutcome& out = *item.outcome;
+  StageCounters ingest_delta, detect_delta, match_delta, notify_delta;
+
+  auto t0 = steady::now();
+  warehouse::IngestResult ingest;
+  bool skip_rest = false;
+  if (job.deletion) {
+    Result<warehouse::IngestResult> deleted =
+        shard.ingest_stage->Delete(job.url, item.now);
+    if (deleted.ok()) {
+      out.processed = true;
+      ingest = std::move(deleted.value());
+    } else {
+      out.status = deleted.status();
+      skip_rest = true;
+    }
+  } else {
+    ingest = shard.ingest_stage->Ingest({job.url, job.body}, item.now,
+                                        item.docid_hint);
+    out.processed = true;
+    if (ingest.degraded) {
+      out.degraded = true;
+      skip_rest = true;
+    }
+  }
+  auto t1 = steady::now();
+  ingest_delta = {1, MicrosSince(t0, t1)};
+
+  std::optional<mqp::AlertMessage> alert;
+  if (!skip_rest) {
+    alert = shard.detect_stage->Detect(
+        ingest, job.deletion ? std::string_view() : job.body);
+    auto t2 = steady::now();
+    detect_delta = {1, MicrosSince(t1, t2)};
+
+    if (alert.has_value()) {
+      out.alert = true;
+      std::vector<mqp::MqpNotification> matches;
+      shard.match_stage->Match(*alert, &matches);
+      auto t3 = steady::now();
+      match_delta = {1, MicrosSince(t2, t3)};
+
+      if (!matches.empty() && resolver_ != nullptr) {
+        resolver_->Resolve(ingest, matches, &out);
+        notify_delta = {1, MicrosSince(t3, steady::now())};
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto merge = [](StageCounters* into, const StageCounters& delta) {
+    into->documents += delta.documents;
+    into->micros += delta.micros;
+  };
+  merge(&shard.ingest_counts, ingest_delta);
+  merge(&shard.detect_counts, detect_delta);
+  merge(&shard.match_counts, match_delta);
+  merge(&shard.notify_counts, notify_delta);
+}
+
+void IngestPipeline::WorkerLoop(PipelineShard* shard) {
+  std::deque<ShardWorkItem> batch;
+  while (true) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(shard->mutex);
+      shard->cv.wait(lock,
+                     [shard] { return shard->stop || !shard->queue.empty(); });
+      if (shard->queue.empty()) return;  // stop requested, nothing queued
+      batch.swap(shard->queue);
+      shard->busy = true;
+    }
+    for (const ShardWorkItem& item : batch) ProcessOne(*shard, item);
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->busy = false;
+    }
+    shard->cv.notify_all();
+  }
+}
+
+void IngestPipeline::ProcessBatch(const std::vector<DocJob>& jobs,
+                                  Timestamp now, DeliverySink* sink,
+                                  std::vector<DocOutcome>* outcomes_out) {
+  std::vector<DocOutcome> outcomes(jobs.size());
+  ++batches_;
+  documents_ += jobs.size();
+
+  if (shards_.size() == 1) {
+    // Inline path: process and deliver per document, on the caller thread —
+    // exactly the monolithic monitor's interleaving (a notification-raised
+    // trigger for document i fires before document i+1 is ingested).
+    PipelineShard& shard = *shards_[0];
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      ShardWorkItem item{&jobs[i], /*docid_hint=*/0, now, &outcomes[i]};
+      ProcessOne(shard, item);
+      if (sink != nullptr) sink->Deliver(jobs[i], outcomes[i]);
+    }
+    if (outcomes_out != nullptr) *outcomes_out = std::move(outcomes);
+    return;
+  }
+
+  // Scatter: pre-assign DOCIDs in submission order (what a 1-shard pipeline
+  // would allocate sequentially), then hand each job to the shard owning its
+  // URL.
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    uint64_t hint = 0;
+    if (!jobs[i].deletion) {
+      auto [it, inserted] = docids_.emplace(jobs[i].url, next_docid_);
+      if (inserted) ++next_docid_;
+      hint = it->second;
+    }
+    PipelineShard& shard = *shards_[ShardFor(jobs[i].url)];
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.queue.push_back(ShardWorkItem{&jobs[i], hint, now, &outcomes[i]});
+      shard.queue_high_water =
+          std::max<uint64_t>(shard.queue_high_water, shard.queue.size());
+    }
+    shard.cv.notify_one();
+  }
+
+  // Barrier: wait for every shard to drain. The lock acquisitions also
+  // publish the workers' writes to `outcomes` to this thread.
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mutex);
+    shard->cv.wait(lock,
+                   [&shard] { return shard->queue.empty() && !shard->busy; });
+  }
+
+  // Ordered gather: deliver in submission-slot order, independent of which
+  // shard finished first.
+  if (sink != nullptr) {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      sink->Deliver(jobs[i], outcomes[i]);
+    }
+  }
+  if (outcomes_out != nullptr) *outcomes_out = std::move(outcomes);
+}
+
+Status IngestPipeline::AttachWarehouseStorage(
+    const std::string& path, const storage::LogStore::Options& options) {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::string shard_path =
+        i == 0 ? path : path + ".s" + std::to_string(i);
+    XYMON_RETURN_IF_ERROR(
+        shards_[i]->warehouse.AttachStorage(shard_path, options));
+  }
+  if (shards_.size() > 1) {
+    // Recovery: rebuild the central URL → DOCID map and re-seed the shared
+    // DTD registry from what each partition persisted.
+    for (auto& shard : shards_) {
+      shard->warehouse.ForEachMeta([this](const warehouse::DocMeta& meta) {
+        docids_[meta.url] = meta.docid;
+        next_docid_ = std::max(next_docid_, meta.docid + 1);
+      });
+      for (const auto& [dtd_url, id] : shard->warehouse.dtd_ids()) {
+        dtd_registry_.Seed(dtd_url, id);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status IngestPipeline::CheckpointWarehouses() {
+  for (auto& shard : shards_) {
+    XYMON_RETURN_IF_ERROR(shard->warehouse.CheckpointStorage());
+  }
+  return Status::OK();
+}
+
+PipelineStats IngestPipeline::stats() const {
+  PipelineStats out;
+  out.shards = shards_.size();
+  out.batches = batches_;
+  out.documents = documents_;
+  auto add = [](StageCounters* into, const StageCounters& from) {
+    into->documents += from.documents;
+    into->micros += from.micros;
+  };
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    out.queue_high_water =
+        std::max(out.queue_high_water, shard->queue_high_water);
+    add(&out.ingest, shard->ingest_counts);
+    add(&out.detect, shard->detect_counts);
+    add(&out.match, shard->match_counts);
+    add(&out.notify, shard->notify_counts);
+  }
+  return out;
+}
+
+uint64_t IngestPipeline::total_document_count() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->warehouse.document_count();
+  }
+  return total;
+}
+
+}  // namespace xymon::system

@@ -1,0 +1,298 @@
+#ifndef XYMON_SYSTEM_PIPELINE_H_
+#define XYMON_SYSTEM_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/alerters/pipeline.h"
+#include "src/common/clock.h"
+#include "src/common/result.h"
+#include "src/mqp/processor.h"
+#include "src/warehouse/warehouse.h"
+
+namespace xymon::system {
+
+// ---------------------------------------------------------------------------
+// The document flow of Figure 3, restructured as an explicit pipeline with
+// named stages:
+//
+//   stage 1  ingest/diff          Warehouse::Ingest / MarkDeleted
+//   stage 2  alert detection      AlertPipeline::BuildAlert (the alerters)
+//   stage 3  complex-event match  MonitoringQueryProcessor::Process
+//   stage 4  notification         resolve (binding + payload) then deliver
+//                                 (reporter / trigger engine / stats)
+//
+// and made shard-parallel per paper §4.2: "split the flow of documents into
+// several partitions and assign a Monitoring Query Processor to each block".
+// Each shard owns a warehouse partition plus a full replica of the detection
+// structures; documents are partitioned by hash(url), so every version of a
+// page meets the same warehouse entry and its diff state.
+//
+// Delivery stays deterministic regardless of shard count: stages 1–4a run on
+// the shard owning the document, but the resulting DeliveryActions are
+// replayed by the caller in submission order (ordered gather). A one-shard
+// pipeline runs everything inline on the caller thread — bit-for-bit the
+// pre-pipeline monitor.
+// ---------------------------------------------------------------------------
+
+/// One unit of work entering the pipeline.
+struct DocJob {
+  std::string url;
+  std::string body;
+  /// True = deletion (Warehouse::MarkDeleted) instead of a fetch.
+  bool deletion = false;
+};
+
+/// One deferred side effect of processing a document. Produced on the shard,
+/// replayed by the DeliverySink on the gather thread in submission order, so
+/// the reporter and trigger engine observe the same call sequence for every
+/// shard count.
+struct DeliveryAction {
+  enum class Kind { kNotification, kTriggerEvent };
+  Kind kind = Kind::kNotification;
+  // kNotification:
+  std::string subscription;
+  std::string query_name;
+  std::string payload_xml;
+  // kTriggerEvent:
+  std::string event_key;
+};
+
+/// Everything the delivery half of stage 4 needs about one processed job.
+struct DocOutcome {
+  bool processed = false;  // false only for a failed deletion
+  bool degraded = false;   // malformed body absorbed by the warehouse
+  bool alert = false;      // at least one strong atomic event detected
+  Status status;           // deletion jobs: NotFound when the URL is unknown
+  std::vector<DeliveryAction> actions;
+};
+
+// -- Per-stage interfaces ----------------------------------------------------
+// Small seams over the concrete modules: the pipeline drives these, tests
+// can interpose, and each shard gets its own instances.
+
+/// Stage 1 — ingest/diff: versioned storage of the fetch and the delta
+/// against the previous version.
+class IngestStage {
+ public:
+  virtual ~IngestStage() = default;
+  virtual warehouse::IngestResult Ingest(const warehouse::FetchedContent& page,
+                                         Timestamp now,
+                                         uint64_t preassigned_docid) = 0;
+  virtual Result<warehouse::IngestResult> Delete(const std::string& url,
+                                                 Timestamp now) = 0;
+};
+
+/// Stage 2 — alert detection: the alerters, assembling at most one alert per
+/// document (nullopt = only weak/no events, the load-shedding rule).
+class DetectStage {
+ public:
+  virtual ~DetectStage() = default;
+  virtual std::optional<mqp::AlertMessage> Detect(
+      const warehouse::IngestResult& ingest, std::string_view raw_body) = 0;
+};
+
+/// Stage 3 — complex-event matching (the Monitoring Query Processor).
+class MatchStage {
+ public:
+  virtual ~MatchStage() = default;
+  virtual void Match(const mqp::AlertMessage& alert,
+                     std::vector<mqp::MqpNotification>* out) = 0;
+};
+
+/// Stage 4a — notification resolution: complex-event matches → deliverable
+/// actions (binding lookup, per-query dedup, payload assembly). Runs on the
+/// shard thread while the IngestResult pointers are still valid, so it must
+/// be read-only over shared state; the pipeline quiesces every mutation of
+/// that state (Register/Unregister never overlaps a batch).
+class NotifyResolver {
+ public:
+  virtual ~NotifyResolver() = default;
+  virtual void Resolve(const warehouse::IngestResult& ingest,
+                       const std::vector<mqp::MqpNotification>& matches,
+                       DocOutcome* out) const = 0;
+};
+
+/// Stage 4b — notification delivery, on the gather thread in submission
+/// order (reporter, trigger engine, stats).
+class DeliverySink {
+ public:
+  virtual ~DeliverySink() = default;
+  virtual void Deliver(const DocJob& job, DocOutcome& outcome) = 0;
+};
+
+// -- Counters ----------------------------------------------------------------
+
+struct StageCounters {
+  uint64_t documents = 0;  // documents that entered the stage
+  uint64_t micros = 0;     // accumulated wall time inside the stage
+
+  bool operator==(const StageCounters&) const = default;
+};
+
+struct PipelineStats {
+  size_t shards = 0;
+  uint64_t batches = 0;
+  uint64_t documents = 0;
+  /// Deepest shard work queue observed (multi-shard only; the inline
+  /// single-shard path has no queue).
+  uint64_t queue_high_water = 0;
+  StageCounters ingest;  // every document
+  StageCounters detect;  // non-degraded documents
+  StageCounters match;   // documents that raised an alert
+  StageCounters notify;  // documents with >= 1 complex-event match
+
+  bool operator==(const PipelineStats&) const = default;
+};
+
+// -- Shards ------------------------------------------------------------------
+
+/// One work item scattered to a shard: the job, the slot it was submitted
+/// in (for ordered gather), the centrally pre-assigned DOCID and the batch
+/// timestamp.
+struct ShardWorkItem {
+  const DocJob* job = nullptr;
+  uint64_t docid_hint = 0;
+  Timestamp now = 0;
+  DocOutcome* outcome = nullptr;
+};
+
+/// One partition of the document flow: a warehouse partition plus a full
+/// replica of every detection structure (paper §4.2 — the Subscription
+/// Manager "warns each MQP" through SubscriptionManager::DetectionReplica).
+struct PipelineShard {
+  PipelineShard(const warehouse::DomainClassifier* classifier,
+                const alerters::UrlAlerter::Options& url_options);
+
+  // Components (construction order matters: alert_pipeline points at the
+  // alerters).
+  warehouse::Warehouse warehouse;
+  alerters::UrlAlerter url_alerter;
+  alerters::XmlAlerter xml_alerter;
+  alerters::HtmlAlerter html_alerter;
+  alerters::AlertPipeline alert_pipeline;
+  mqp::MonitoringQueryProcessor mqp;
+
+  // Stage seams (default adapters over the components above).
+  std::unique_ptr<IngestStage> ingest_stage;
+  std::unique_ptr<DetectStage> detect_stage;
+  std::unique_ptr<MatchStage> match_stage;
+
+  // Worker machinery (idle in a one-shard pipeline). `mutex` guards the
+  // queue, flags and counters.
+  std::thread worker;
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<ShardWorkItem> queue;
+  bool stop = false;
+  bool busy = false;
+
+  // Stage counters (guarded by `mutex`).
+  uint64_t queue_high_water = 0;
+  StageCounters ingest_counts;
+  StageCounters detect_counts;
+  StageCounters match_counts;
+  StageCounters notify_counts;
+};
+
+// -- The pipeline ------------------------------------------------------------
+
+/// Owns N shards and the batch scatter/gather. Thread-compatible, not
+/// thread-safe: the owner (XylemeMonitor) serializes ProcessBatch against
+/// every mutation of subscriptions/classifier — that serialization is the
+/// quiescing that lets stage 4a read manager state from shard threads.
+class IngestPipeline {
+ public:
+  struct Options {
+    /// Number of document-flow partitions. 1 = inline, no threads.
+    size_t shards = 1;
+    /// Trie vs hash `URL extends` structure, per shard.
+    bool use_trie_prefixes = false;
+    /// Degrade-don't-die cap, per shard warehouse.
+    uint32_t max_parse_failures_per_url = 3;
+    /// Domain classifier shared by every shard (owner outlives pipeline).
+    const warehouse::DomainClassifier* classifier = nullptr;
+  };
+
+  explicit IngestPipeline(const Options& options);
+  ~IngestPipeline();
+
+  IngestPipeline(const IngestPipeline&) = delete;
+  IngestPipeline& operator=(const IngestPipeline&) = delete;
+
+  /// Stage-4a hook; install before the first batch.
+  void set_resolver(const NotifyResolver* resolver) { resolver_ = resolver; }
+
+  size_t shard_count() const { return shards_.size(); }
+  PipelineShard& shard(size_t i) { return *shards_[i]; }
+  const PipelineShard& shard(size_t i) const { return *shards_[i]; }
+
+  /// Which shard owns `url` (stable FNV-1a hash — same partitioning as
+  /// ParallelMqpPool).
+  size_t ShardFor(std::string_view url) const;
+
+  /// The warehouse partition owning `url`.
+  warehouse::Warehouse& WarehouseFor(std::string_view url) {
+    return shards_[ShardFor(url)]->warehouse;
+  }
+
+  /// Aggregated read view over every shard (continuous queries range over
+  /// it). One shard: the shard's warehouse itself — identical iteration
+  /// order to the pre-pipeline monitor. Several: merged, DOCID-ordered.
+  const warehouse::DocumentSource* document_source() const;
+
+  /// Runs one batch through stages 1–4: scatter by hash(url), process on
+  /// the owning shards, gather + deliver to `sink` in submission order.
+  /// Blocks until every outcome is delivered. `outcomes_out`, if non-null,
+  /// receives the per-slot outcomes (delivery may have consumed payload
+  /// strings; `status` and the flags are intact).
+  void ProcessBatch(const std::vector<DocJob>& jobs, Timestamp now,
+                    DeliverySink* sink,
+                    std::vector<DocOutcome>* outcomes_out = nullptr);
+
+  /// Storage plumbing: shard 0 opens `path` (the historical single-store
+  /// layout, so a 1-shard pipeline reopens pre-pipeline stores), shard i>0
+  /// opens `path`.s<i>. Recovery rebuilds the central DOCID map and the
+  /// shared DTD registry from the recovered partitions. Reopen with the
+  /// same shard count the stores were written with (ROADMAP: resharding).
+  Status AttachWarehouseStorage(const std::string& path,
+                                const storage::LogStore::Options& options);
+  Status CheckpointWarehouses();
+
+  PipelineStats stats() const;
+  uint64_t total_document_count() const;
+
+ private:
+  class ShardedSource;
+
+  void WorkerLoop(PipelineShard* shard);
+  void ProcessOne(PipelineShard& shard, const ShardWorkItem& item) const;
+
+  const NotifyResolver* resolver_ = nullptr;
+  warehouse::DtdRegistry dtd_registry_;
+  std::vector<std::unique_ptr<PipelineShard>> shards_;
+  std::unique_ptr<ShardedSource> sharded_source_;  // shards > 1 only
+
+  // Central DOCID allocation (multi-shard only): ids are assigned in scatter
+  // order, which is exactly the order a 1-shard pipeline ingests in, so
+  // DOCIDs are identical for every shard count. A 1-shard pipeline lets the
+  // warehouse allocate (bit-for-bit the historical counter).
+  std::unordered_map<std::string, uint64_t> docids_;
+  uint64_t next_docid_ = 1;
+
+  uint64_t batches_ = 0;
+  uint64_t documents_ = 0;
+};
+
+}  // namespace xymon::system
+
+#endif  // XYMON_SYSTEM_PIPELINE_H_

@@ -148,7 +148,29 @@ Status Warehouse::AttachStorage(const std::string& path,
   return Status::OK();
 }
 
-IngestResult Warehouse::Ingest(const FetchedContent& page, Timestamp now) {
+uint32_t DtdRegistry::IdFor(const std::string& dtd_url) {
+  if (dtd_url.empty()) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = ids_.emplace(dtd_url, next_id_);
+  if (inserted) ++next_id_;
+  return it->second;
+}
+
+void DtdRegistry::Seed(const std::string& dtd_url, uint32_t id) {
+  if (dtd_url.empty() || id == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = ids_.emplace(dtd_url, id);
+  (void)it;
+  if (inserted && id >= next_id_) next_id_ = id + 1;
+}
+
+size_t DtdRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ids_.size();
+}
+
+IngestResult Warehouse::Ingest(const FetchedContent& page, Timestamp now,
+                               uint64_t preassigned_docid) {
   IngestResult out;
   uint64_t signature = Fnv1a(page.body);
 
@@ -189,7 +211,12 @@ IngestResult Warehouse::Ingest(const FetchedContent& page, Timestamp now) {
 
   if (it == entries_.end()) {
     auto entry = std::make_unique<Entry>();
-    entry->meta.docid = next_docid_++;
+    if (preassigned_docid != 0) {
+      entry->meta.docid = preassigned_docid;
+      if (preassigned_docid >= next_docid_) next_docid_ = preassigned_docid + 1;
+    } else {
+      entry->meta.docid = next_docid_++;
+    }
     entry->meta.url = page.url;
     entry->meta.filename = std::string(UrlFilename(page.url));
     entry->meta.is_xml = is_xml;
@@ -364,8 +391,23 @@ Result<Timestamp> Warehouse::GetVersionTime(const std::string& url,
   return it->second->versions->VersionTime(index);
 }
 
+void Warehouse::ForEachMeta(
+    const std::function<void(const DocMeta&)>& fn) const {
+  for (const auto& [url, entry] : entries_) {
+    (void)url;
+    fn(entry->meta);
+  }
+}
+
 uint32_t Warehouse::DtdIdFor(const std::string& dtd_url) {
   if (dtd_url.empty()) return 0;
+  if (dtd_registry_ != nullptr) {
+    // Process-global dense ids; remember the pair locally so it persists
+    // with this partition's counters record.
+    uint32_t id = dtd_registry_->IdFor(dtd_url);
+    dtd_ids_.emplace(dtd_url, id);
+    return id;
+  }
   auto [it, inserted] =
       dtd_ids_.emplace(dtd_url, static_cast<uint32_t>(dtd_ids_.size() + 1));
   (void)inserted;

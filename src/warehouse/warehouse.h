@@ -1,7 +1,9 @@
 #ifndef XYMON_WAREHOUSE_WAREHOUSE_H_
 #define XYMON_WAREHOUSE_WAREHOUSE_H_
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -41,6 +43,41 @@ struct IngestResult {
   bool degraded = false;
 };
 
+/// Read-side collection interface: what the query processor needs from "the
+/// warehouse" without caring whether it is one repository or a sharded set
+/// of partitions (system::IngestPipeline aggregates one per shard).
+class DocumentSource {
+ public:
+  virtual ~DocumentSource() = default;
+
+  /// All warehoused XML documents in `domain` ("" = all) — the collection a
+  /// continuous query ranges over.
+  virtual std::vector<std::pair<const DocMeta*, const xml::Document*>>
+  DocumentsInDomain(std::string_view domain) const = 0;
+};
+
+/// Dense DTD-id assignment shared across warehouse partitions, so a
+/// `DTDID =` condition means the same DTD on every shard. Thread-safe:
+/// shards assign ids concurrently from their worker threads.
+class DtdRegistry {
+ public:
+  /// Id for a DTD system-id, assigning the next dense id if unseen.
+  /// "" maps to 0 (no DTD).
+  uint32_t IdFor(const std::string& dtd_url);
+
+  /// Recovery: re-installs a persisted (url, id) pair. Conflicting seeds
+  /// (same url, different id) keep the first — partitions recovered from the
+  /// same run never conflict.
+  void Seed(const std::string& dtd_url, uint32_t id);
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, uint32_t> ids_;
+  uint32_t next_id_ = 1;
+};
+
 /// The XML repository + index manager of Figure 1, reduced to what the
 /// monitoring chain needs (the full Xyleme repository, Natix, is out of
 /// scope — DESIGN.md §1):
@@ -49,7 +86,7 @@ struct IngestResult {
 ///   * tracks metadata and change status for XML *and* HTML pages (HTML is
 ///     "not warehoused": only its signature is kept, paper §1);
 ///   * assigns DOCIDs and dense DTDIDs.
-class Warehouse {
+class Warehouse : public DocumentSource {
  public:
   explicit Warehouse(const DomainClassifier* classifier = nullptr)
       : classifier_(classifier) {}
@@ -92,7 +129,12 @@ class Warehouse {
   /// parses XML, versions it and computes the delta against the previous
   /// version. Invalid XML is ingested as a non-XML page (the real system
   /// cannot reject the web).
-  IngestResult Ingest(const FetchedContent& page, Timestamp now);
+  ///
+  /// `preassigned_docid` != 0 pins the DOCID a first-time URL receives; the
+  /// sharded pipeline allocates ids centrally in scatter order so DOCIDs are
+  /// identical for every shard count. 0 keeps internal allocation.
+  IngestResult Ingest(const FetchedContent& page, Timestamp now,
+                      uint64_t preassigned_docid = 0);
 
   /// Marks a URL as deleted, producing element-level kDeleted changes for
   /// the whole old tree. NotFound if the URL is unknown.
@@ -106,10 +148,26 @@ class Warehouse {
   /// All warehoused XML documents in `domain` ("" = all) — the collection a
   /// continuous query ranges over.
   std::vector<std::pair<const DocMeta*, const xml::Document*>> DocumentsInDomain(
-      std::string_view domain) const;
+      std::string_view domain) const override;
 
-  /// Dense id for a DTD system-id (assigning a new one if unseen).
+  /// Visits the metadata of every known document (any status). The sharded
+  /// pipeline rebuilds its central URL → DOCID map from this on recovery.
+  void ForEachMeta(const std::function<void(const DocMeta&)>& fn) const;
+
+  /// Dense id for a DTD system-id (assigning a new one if unseen). With a
+  /// shared registry (sharded mode) the assignment is process-global.
   uint32_t DtdIdFor(const std::string& dtd_url);
+
+  /// Shares DTD-id assignment with other warehouse partitions. Call before
+  /// the first Ingest/AttachStorage. The local table still records the ids
+  /// this partition saw (it is what gets persisted).
+  void set_dtd_registry(DtdRegistry* registry) { dtd_registry_ = registry; }
+
+  /// Persisted (dtd url → id) table, for seeding a shared registry after
+  /// recovery.
+  const std::unordered_map<std::string, uint32_t>& dtd_ids() const {
+    return dtd_ids_;
+  }
 
   // -- Version history (requires EnableVersioning) ---------------------------
 
@@ -142,6 +200,7 @@ class Warehouse {
   void PersistCounters();
 
   const DomainClassifier* classifier_;
+  DtdRegistry* dtd_registry_ = nullptr;
   bool versioning_ = false;
   size_t max_deltas_ = 16;
   uint32_t max_parse_failures_ = 3;

@@ -384,6 +384,54 @@ TEST(ParallelMqpPoolTest, DuplicateRegistrationRollsBack) {
   (void)hits;
 }
 
+TEST(ParallelMqpPoolTest, SameUrlAlwaysLandsOnSameReplica) {
+  // Stable hash(url) partitioning (not round-robin): every alert for one
+  // document must hit one replica, so successive versions of a page meet
+  // the same matcher state in submission order.
+  ParallelMqpPool pool(4, [](const MqpNotification&) {});
+  ASSERT_TRUE(pool.Register(1, {1}).ok());
+
+  const std::string url = "http://example.org/catalog.xml";
+  for (int i = 0; i < 100; ++i) {
+    AlertMessage alert;
+    alert.docid = 7;
+    alert.url = url;
+    alert.events = {1};
+    pool.Submit(std::move(alert));
+  }
+  pool.Flush();
+
+  std::vector<uint64_t> per_worker = pool.processed_per_worker();
+  ASSERT_EQ(per_worker.size(), 4u);
+  uint64_t total = 0;
+  uint64_t busiest = 0;
+  for (uint64_t count : per_worker) {
+    total += count;
+    busiest = std::max(busiest, count);
+  }
+  EXPECT_EQ(total, 100u);
+  // All 100 alerts for this URL on exactly one replica.
+  EXPECT_EQ(busiest, 100u);
+
+  // And different URLs spread: with 64 distinct URLs at least two of the
+  // four replicas must see traffic (FNV-1a would need a pathological
+  // collision streak to hit one bucket 64 times).
+  for (int i = 0; i < 64; ++i) {
+    AlertMessage alert;
+    alert.docid = static_cast<uint64_t>(100 + i);
+    alert.url = "http://example.org/page" + std::to_string(i) + ".xml";
+    alert.events = {1};
+    pool.Submit(std::move(alert));
+  }
+  pool.Flush();
+  per_worker = pool.processed_per_worker();
+  size_t replicas_hit = 0;
+  for (uint64_t count : per_worker) {
+    if (count > 0) ++replicas_hit;
+  }
+  EXPECT_GE(replicas_hit, 2u);
+}
+
 TEST(AesMatcherTest, StructureStatsDescribeTheTree) {
   AesMatcher aes;
   ASSERT_TRUE(aes.Insert(1, {1, 2, 3}).ok());
