@@ -36,7 +36,13 @@ Status SubscriptionManager::AttachStorage(
     const std::string& path, const storage::LogStore::Options& log_options) {
   auto store = storage::PersistentMap::Open(path, log_options);
   if (!store.ok()) return store.status();
-  store_ = std::move(store).value();
+  owned_store_ = std::move(store).value();
+  return AttachStore(&*owned_store_);
+}
+
+Status SubscriptionManager::AttachStore(storage::PersistentMap* store) {
+  store_ = store;
+  if (store_ == nullptr) return Status::OK();
 
   // Recover: each record is "email\ntext".
   for (const auto& [name, value] : store_->data()) {
@@ -366,7 +372,7 @@ Result<std::string> SubscriptionManager::SubscribeInternal(
   }
 
   // 6. Durability.
-  if (persist && store_.has_value()) {
+  if (persist && store_ != nullptr) {
     Status put = store_->Put(ast.name, Join(record.recipients, ",") + "\n" + text);
     if (!put.ok()) {
       (void)components_.reporter->RemoveSubscription(ast.name);
@@ -387,7 +393,7 @@ Status SubscriptionManager::Unsubscribe(const std::string& name) {
   }
   RollbackSubscription(&it->second);
   (void)components_.reporter->RemoveSubscription(name);
-  if (store_.has_value()) {
+  if (store_ != nullptr) {
     XYMON_RETURN_IF_ERROR(store_->Delete(name));
   }
   subs_.erase(it);
@@ -407,7 +413,7 @@ Status SubscriptionManager::AddRecipient(const std::string& name,
   }
   XYMON_RETURN_IF_ERROR(components_.reporter->AddRecipient(name, email));
   recipients.push_back(email);
-  if (store_.has_value()) {
+  if (store_ != nullptr) {
     XYMON_RETURN_IF_ERROR(
         store_->Put(name, Join(recipients, ",") + "\n" + it->second.text));
   }

@@ -90,11 +90,16 @@ class SubscriptionManager {
   Status AttachStorage(const std::string& path,
                        const storage::LogStore::Options& log_options = {});
 
+  /// Non-owning variant: recovers from (and writes through to) `store`,
+  /// whose lifetime the caller manages (the StorageHub when the monitor
+  /// runs). nullptr detaches.
+  Status AttachStore(storage::PersistentMap* store);
+
   /// Atomically compacts the recovery log to one record per live
-  /// subscription (no-op without AttachStorage). Crash-safe: see
+  /// subscription (no-op without storage). Crash-safe: see
   /// PersistentMap::Checkpoint.
   Status CheckpointStorage() {
-    return store_.has_value() ? store_->Checkpoint() : Status::OK();
+    return store_ != nullptr ? store_->Checkpoint() : Status::OK();
   }
 
   /// Parses, validates and activates a subscription; returns its name.
@@ -192,7 +197,8 @@ class SubscriptionManager {
   std::map<std::string, SubRecord> subs_;
   std::unordered_map<mqp::ComplexEventId, QueryBinding> bindings_;
   std::map<std::string, Timestamp> refresh_hints_;
-  std::optional<storage::PersistentMap> store_;
+  std::optional<storage::PersistentMap> owned_store_;
+  storage::PersistentMap* store_ = nullptr;
   const UserRegistry* users_ = nullptr;
 };
 

@@ -26,7 +26,13 @@ Status UserRegistry::AttachStorage(
     const std::string& path, const storage::LogStore::Options& log_options) {
   auto store = storage::PersistentMap::Open(path, log_options);
   if (!store.ok()) return store.status();
-  store_ = std::move(store).value();
+  owned_store_ = std::move(store).value();
+  return AttachStore(&*owned_store_);
+}
+
+Status UserRegistry::AttachStore(storage::PersistentMap* store) {
+  store_ = store;
+  if (store_ == nullptr) return Status::OK();
   for (const auto& [name, record] : store_->data()) {
     auto user = Decode(name, record);
     if (!user.has_value()) {
@@ -38,7 +44,7 @@ Status UserRegistry::AttachStorage(
 }
 
 Status UserRegistry::Persist(const User& user) {
-  if (!store_.has_value()) return Status::OK();
+  if (store_ == nullptr) return Status::OK();
   return store_->Put(user.name, Encode(user));
 }
 
@@ -58,7 +64,7 @@ Status UserRegistry::RemoveUser(const std::string& name) {
   if (users_.erase(name) == 0) {
     return Status::NotFound("user '" + name + "'");
   }
-  if (store_.has_value()) {
+  if (store_ != nullptr) {
     XYMON_RETURN_IF_ERROR(store_->Delete(name));
   }
   return Status::OK();

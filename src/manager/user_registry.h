@@ -30,9 +30,14 @@ class UserRegistry {
   Status AttachStorage(const std::string& path,
                        const storage::LogStore::Options& log_options = {});
 
-  /// Atomically compacts the backing store (no-op without AttachStorage).
+  /// Non-owning variant: recovers from (and writes through to) `store`,
+  /// whose lifetime the caller manages (the StorageHub when the monitor
+  /// runs). nullptr detaches.
+  Status AttachStore(storage::PersistentMap* store);
+
+  /// Atomically compacts the backing store (no-op without storage).
   Status CheckpointStorage() {
-    return store_.has_value() ? store_->Checkpoint() : Status::OK();
+    return store_ != nullptr ? store_->Checkpoint() : Status::OK();
   }
 
   Status AddUser(const User& user);
@@ -52,7 +57,8 @@ class UserRegistry {
   Status Persist(const User& user);
 
   std::map<std::string, User> users_;
-  std::optional<storage::PersistentMap> store_;
+  std::optional<storage::PersistentMap> owned_store_;
+  storage::PersistentMap* store_ = nullptr;
 };
 
 }  // namespace xymon::manager

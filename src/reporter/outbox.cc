@@ -53,7 +53,13 @@ Status Outbox::AttachStorage(const std::string& path,
                              const storage::LogStore::Options& log_options) {
   auto store = storage::PersistentMap::Open(path, log_options);
   if (!store.ok()) return store.status();
-  store_ = std::move(store).value();
+  owned_store_ = std::move(store).value();
+  return AttachStore(&*owned_store_);
+}
+
+Status Outbox::AttachStore(storage::PersistentMap* store) {
+  store_ = store;
+  if (store_ == nullptr) return Status::OK();
 
   if (auto n = store_->Get(kSeqKey); n.has_value()) {
     std::string_view data(*n);
@@ -79,7 +85,7 @@ Status Outbox::AttachStorage(const std::string& path,
 }
 
 void Outbox::PersistPending(const Email& email) {
-  if (!store_.has_value()) return;
+  if (store_ == nullptr) return;
   std::string seq_record;
   xml::PutVarint(next_seq_, &seq_record);
   // The e-mail record must be durable before the first delivery attempt;
@@ -92,7 +98,7 @@ void Outbox::PersistPending(const Email& email) {
 }
 
 void Outbox::ErasePending(uint64_t seq) {
-  if (!store_.has_value() || seq == 0) return;
+  if (store_ == nullptr || seq == 0) return;
   (void)store_->Delete(PendingKey(seq));
 }
 

@@ -67,9 +67,14 @@ class Outbox {
   Status AttachStorage(const std::string& path,
                        const storage::LogStore::Options& log_options = {});
 
-  /// Atomically compacts the backing store (no-op without AttachStorage).
+  /// Non-owning variant: recovers from (and writes through to) `store`,
+  /// whose lifetime the caller manages (the StorageHub when the monitor
+  /// runs). nullptr detaches.
+  Status AttachStore(storage::PersistentMap* store);
+
+  /// Atomically compacts the backing store (no-op without storage).
   Status CheckpointStorage() {
-    return store_.has_value() ? store_->Checkpoint() : Status::OK();
+    return store_ != nullptr ? store_->Checkpoint() : Status::OK();
   }
 
   /// Installs the delivery hook (nullptr = always succeeds).
@@ -109,7 +114,8 @@ class Outbox {
   SendHook send_hook_;
   std::vector<Email> sent_;
   std::vector<Email> queue_;
-  std::optional<storage::PersistentMap> store_;
+  std::optional<storage::PersistentMap> owned_store_;
+  storage::PersistentMap* store_ = nullptr;
   uint64_t next_seq_ = 1;
   uint64_t sent_count_ = 0;
   uint64_t send_failures_ = 0;

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #ifndef _WIN32
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -160,6 +161,26 @@ class PosixEnv : public Env {
     ::close(fd);
     return st;
   }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      return Status::IOError("cannot open dir " + dir + ": " +
+                             std::strerror(errno));
+    }
+    std::vector<std::string> paths;
+    while (struct dirent* entry = ::readdir(d)) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      std::string full = dir == "." ? name : dir + "/" + name;
+      struct stat st;
+      if (::stat(full.c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+        paths.push_back(std::move(full));
+      }
+    }
+    ::closedir(d);
+    return paths;
+  }
 };
 
 }  // namespace
@@ -177,12 +198,14 @@ class MemWritableFile : public WritableFile {
       : env_(env), path_(std::move(path)), epoch_(epoch) {}
 
   Status Append(std::string_view data) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
     XYMON_RETURN_IF_ERROR(Check());
     env_->files_[path_].unsynced.append(data);
     return Status::OK();
   }
 
   Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
     XYMON_RETURN_IF_ERROR(Check());
     MemEnv::FileState& f = env_->files_[path_];
     f.durable += f.unsynced;
@@ -216,6 +239,7 @@ class MemSequentialFile : public SequentialFile {
       : env_(env), path_(std::move(path)), epoch_(epoch) {}
 
   Result<size_t> Read(size_t n, char* scratch) override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
     XYMON_RETURN_IF_ERROR(env_->CheckOnline());
     if (epoch_ != env_->epoch_) {
       return Status::IOError("stale file handle for " + path_);
@@ -253,6 +277,7 @@ Status MemEnv::CheckOnline() const {
 
 Result<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
     const std::string& path, bool truncate) {
+  std::lock_guard<std::mutex> lock(mu_);
   XYMON_RETURN_IF_ERROR(CheckOnline());
   auto it = files_.find(path);
   if (it == files_.end()) {
@@ -268,6 +293,7 @@ Result<std::unique_ptr<WritableFile>> MemEnv::NewWritableFile(
 
 Result<std::unique_ptr<SequentialFile>> MemEnv::NewSequentialFile(
     const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   XYMON_RETURN_IF_ERROR(CheckOnline());
   if (files_.find(path) == files_.end()) {
     return Status::NotFound("no such file " + path);
@@ -277,10 +303,12 @@ Result<std::unique_ptr<SequentialFile>> MemEnv::NewSequentialFile(
 }
 
 bool MemEnv::FileExists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   return !offline_ && files_.find(path) != files_.end();
 }
 
 Result<uint64_t> MemEnv::GetFileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   XYMON_RETURN_IF_ERROR(CheckOnline());
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file " + path);
@@ -289,6 +317,7 @@ Result<uint64_t> MemEnv::GetFileSize(const std::string& path) {
 }
 
 Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
   XYMON_RETURN_IF_ERROR(CheckOnline());
   auto it = files_.find(from);
   if (it == files_.end()) return Status::NotFound("no such file " + from);
@@ -305,6 +334,7 @@ Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
 }
 
 Status MemEnv::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   XYMON_RETURN_IF_ERROR(CheckOnline());
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file " + path);
@@ -315,13 +345,32 @@ Status MemEnv::DeleteFile(const std::string& path) {
 }
 
 Status MemEnv::SyncDir(const std::string& /*dir*/) {
+  std::lock_guard<std::mutex> lock(mu_);
   XYMON_RETURN_IF_ERROR(CheckOnline());
   // Flat namespace: one SyncDir makes all pending metadata durable.
   journal_.clear();
   return Status::OK();
 }
 
+Result<std::vector<std::string>> MemEnv::ListDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  XYMON_RETURN_IF_ERROR(CheckOnline());
+  // Flat namespace: "." lists the slash-free paths, anything else lists the
+  // paths under "dir/".
+  std::vector<std::string> paths;
+  const std::string prefix = dir == "." ? "" : dir + "/";
+  for (const auto& [path, f] : files_) {
+    if (prefix.empty()) {
+      if (path.find('/') == std::string::npos) paths.push_back(path);
+    } else if (path.compare(0, prefix.size(), prefix) == 0) {
+      paths.push_back(path);
+    }
+  }
+  return paths;
+}
+
 void MemEnv::PowerLoss() {
+  std::lock_guard<std::mutex> lock(mu_);
   // Un-synced metadata first: roll the journal back newest-to-oldest so the
   // directory reverts to its last SyncDir'd shape.
   for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
@@ -352,7 +401,18 @@ void MemEnv::PowerLoss() {
   offline_ = true;
 }
 
+void MemEnv::Reboot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  offline_ = false;
+}
+
+bool MemEnv::offline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return offline_;
+}
+
 std::vector<std::string> MemEnv::ListFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(files_.size());
   for (const auto& [path, f] : files_) names.push_back(path);
@@ -410,6 +470,7 @@ class FaultySequentialFile : public SequentialFile {
 };
 
 Status FaultyEnv::BeginOp() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) return Status::IOError("env crashed (simulated power loss)");
   ++op_count_;
   if (crash_at_op_ != 0 && op_count_ >= crash_at_op_) {
@@ -440,12 +501,12 @@ Result<std::unique_ptr<SequentialFile>> FaultyEnv::NewSequentialFile(
 }
 
 bool FaultyEnv::FileExists(const std::string& path) {
-  if (crashed_) return false;
+  if (crashed()) return false;
   return base_->FileExists(path);
 }
 
 Result<uint64_t> FaultyEnv::GetFileSize(const std::string& path) {
-  if (crashed_) return Status::IOError("env crashed");
+  if (crashed()) return Status::IOError("env crashed");
   return base_->GetFileSize(path);
 }
 
@@ -463,6 +524,12 @@ Status FaultyEnv::SyncDir(const std::string& dir) {
   XYMON_RETURN_IF_ERROR(BeginOp());
   if (fail_syncs_) return Status::IOError("injected dir fsync failure");
   return base_->SyncDir(dir);
+}
+
+Result<std::vector<std::string>> FaultyEnv::ListDir(const std::string& dir) {
+  XYMON_RETURN_IF_ERROR(BeginOp());
+  if (fail_reads_) return Status::IOError("injected read error");
+  return base_->ListDir(dir);
 }
 
 }  // namespace xymon::storage

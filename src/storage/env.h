@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -72,6 +73,11 @@ class Env {
   /// the file *data* was synced (the classic create-then-lose-it hazard).
   virtual Status SyncDir(const std::string& dir) = 0;
 
+  /// Full paths of the regular files in `dir` (unordered). StorageHub's
+  /// orphan scan uses this to find partition files left behind by an old
+  /// shard layout or an interrupted reshard.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+
   /// The real filesystem. Never deleted; shared process-wide.
   static Env* Default();
 };
@@ -90,6 +96,9 @@ std::string DirnameOf(const std::string& path);
 ///
 /// The namespace is flat: paths are opaque strings, SyncDir syncs all
 /// pending metadata regardless of the directory argument.
+///
+/// Thread-safe: pipeline shards checkpoint their partitions concurrently,
+/// so every entry point (including open handles) locks the env mutex.
 class MemEnv : public Env {
  public:
   MemEnv() = default;
@@ -105,6 +114,7 @@ class MemEnv : public Env {
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status DeleteFile(const std::string& path) override;
   Status SyncDir(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
 
   /// Simulates pulling the plug: unsynced data and un-SyncDir'd metadata
   /// vanish, every open handle goes stale, and the env refuses all I/O
@@ -113,9 +123,9 @@ class MemEnv : public Env {
 
   /// Brings the env back after PowerLoss; surviving state is what a real
   /// disk would show after the outage.
-  void Reboot() { offline_ = false; }
+  void Reboot();
 
-  bool offline() const { return offline_; }
+  bool offline() const;
 
   /// Names of all files currently visible (test inspection).
   std::vector<std::string> ListFiles() const;
@@ -139,6 +149,7 @@ class MemEnv : public Env {
 
   Status CheckOnline() const;
 
+  mutable std::mutex mu_;  // guards everything below (and handle I/O)
   std::map<std::string, FileState> files_;
   std::vector<MetaOp> journal_;  // metadata ops since the last SyncDir
   uint64_t epoch_ = 0;           // bumped by PowerLoss; stales handles
@@ -172,14 +183,24 @@ class FaultyEnv : public Env {
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status DeleteFile(const std::string& path) override;
   Status SyncDir(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
 
   /// Crash (power loss) when the running op count reaches `op_index`
   /// (1-based). 0 disarms.
-  void CrashAtOp(uint64_t op_index) { crash_at_op_ = op_index; }
-  bool crashed() const { return crashed_; }
+  void CrashAtOp(uint64_t op_index) {
+    std::lock_guard<std::mutex> lock(mu_);
+    crash_at_op_ = op_index;
+  }
+  bool crashed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return crashed_;
+  }
 
   /// Total I/O ops observed so far (failed ops count too).
-  uint64_t op_count() const { return op_count_; }
+  uint64_t op_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return op_count_;
+  }
 
   void FailSyncs(bool on) { fail_syncs_ = on; }
   void FailAppends(bool on) { fail_appends_ = on; }
@@ -194,9 +215,11 @@ class FaultyEnv : public Env {
 
   /// Bumps the op counter and fires the crash if this is the fatal op.
   /// Returns non-OK when the op must fail before touching the base env.
+  /// Thread-safe: shard threads funnel their I/O through the same counter.
   Status BeginOp();
 
   MemEnv* base_;
+  mutable std::mutex mu_;  // guards op_count_/crash_at_op_/crashed_
   uint64_t op_count_ = 0;
   uint64_t crash_at_op_ = 0;
   bool crashed_ = false;

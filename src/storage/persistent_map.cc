@@ -143,4 +143,34 @@ Status PersistentMap::Checkpoint() {
   return log_.Truncate();
 }
 
+Status PersistentMap::WriteSnapshot(
+    const std::string& path, const std::map<std::string, std::string>& data,
+    const LogStore::Options& log_options) {
+  Env* env = log_options.env != nullptr ? log_options.env : Env::Default();
+  const std::string tmp = CheckpointTempPath(path);
+
+  {
+    LogStore::Options snapshot_options = log_options;
+    snapshot_options.fsync_every_n = 0;  // One Sync at the end is enough.
+    auto out = LogStore::Open(tmp, snapshot_options, /*truncate=*/true);
+    if (!out.ok()) return out.status();
+    Status st;
+    for (const auto& [k, v] : data) {
+      st = out->Append(EncodePut(k, v));
+      if (!st.ok()) break;
+    }
+    if (st.ok()) st = out->Sync();
+    if (st.ok()) st = out->Close();
+    if (!st.ok()) {
+      (void)env->DeleteFile(tmp);  // Best effort; the orphan scan cleans up.
+      return st;
+    }
+  }
+  XYMON_RETURN_IF_ERROR(env->RenameFile(tmp, CheckpointPath(path)));
+  // A stale mutation log at `path` would replay on top of the snapshot;
+  // resharding always targets fresh generation names, but stay safe.
+  if (env->FileExists(path)) XYMON_RETURN_IF_ERROR(env->DeleteFile(path));
+  return env->SyncDir(DirnameOf(path));
+}
+
 }  // namespace xymon::storage

@@ -61,6 +61,14 @@ class PersistentMap {
   /// comment) and empties the mutation log.
   Status Checkpoint();
 
+  /// Writes `data` as a committed checkpoint for a map at `path` (temp file
+  /// + fsync + rename + dir fsync) without opening a live log, so a later
+  /// Open(path) recovers exactly `data`. Resharding uses this to
+  /// materialize a new partition generation in one crash-atomic step.
+  static Status WriteSnapshot(const std::string& path,
+                              const std::map<std::string, std::string>& data,
+                              const LogStore::Options& log_options = {});
+
   /// Compacts automatically whenever the log grows past `threshold` bytes
   /// after a mutation (0 disables). Keeps long-running warehouses and
   /// subscription stores from growing without bound under churn.

@@ -60,33 +60,57 @@ XylemeMonitor::XylemeMonitor(const Clock* clock, const Options& options)
   reporter_.set_web_portal(&web_portal_);
   manager_.set_user_registry(&users_);
 
-  // Cold-start recovery. Order matters only in that the outbox backlog must
-  // be restored before anything can Send (re-queued mail keeps its original
-  // seq). Subscription recovery rebuilds the MQP hash tree (on every
-  // shard), the alerter structures and the trigger engine as a side effect
-  // of replay.
+  // Cold-start recovery through the StorageHub, which owns every store and
+  // the layout manifest. Opening the hub recovers the warehouse partitions
+  // at the manifest's committed layout — resharding them first if
+  // num_shards changed since the store was written. Attach order matters
+  // only in that the outbox backlog must be restored before anything can
+  // Send (re-queued mail keeps its original seq). Subscription recovery
+  // rebuilds the MQP hash tree (on every shard), the alerter structures and
+  // the trigger engine as a side effect of replay.
   //
   // Construction cannot fail without exceptions; a bad storage path leaves
   // the system running non-durably with the error in storage_status().
   // Callers that need durability use XylemeMonitor::Open.
-  storage::LogStore::Options log_options{options.storage_fsync_every_n,
-                                         options.env};
+  const bool any_storage =
+      !options.outbox_path.empty() || !options.warehouse_path.empty() ||
+      !options.user_registry_path.empty() || !options.storage_path.empty();
+  if (!any_storage) return;
+
+  storage::StorageHub::Options hub_options;
+  hub_options.log = {options.storage_fsync_every_n, options.env};
+  hub_options.auto_checkpoint_bytes = options.auto_checkpoint_bytes;
+  if (!options.outbox_path.empty()) {
+    hub_options.stores.push_back({"outbox", options.outbox_path});
+  }
+  if (!options.user_registry_path.empty()) {
+    hub_options.stores.push_back({"users", options.user_registry_path});
+  }
+  if (!options.storage_path.empty()) {
+    hub_options.stores.push_back({"subscriptions", options.storage_path});
+  }
+  if (!options.warehouse_path.empty()) {
+    hub_options.partitioned_name = "warehouse";
+    hub_options.partitioned_path = options.warehouse_path;
+    hub_options.partitions = pipeline_.shard_count();
+    hub_options.reshard = warehouse::Warehouse::MakeReshardHooks();
+  }
+
   auto note = [this](Status st) {
     if (storage_status_.ok() && !st.ok()) storage_status_ = st;
   };
-  if (!options.outbox_path.empty()) {
-    note(outbox_.AttachStorage(options.outbox_path, log_options));
+  auto hub = storage::StorageHub::Open(hub_options);
+  if (!hub.ok()) {
+    note(hub.status());
+    return;
   }
+  hub_ = std::move(hub).value();
+  note(outbox_.AttachStore(hub_->store("outbox")));
   if (!options.warehouse_path.empty()) {
-    note(pipeline_.AttachWarehouseStorage(options.warehouse_path,
-                                          log_options));
+    note(pipeline_.AttachStorageHub(hub_.get()));
   }
-  if (!options.user_registry_path.empty()) {
-    note(users_.AttachStorage(options.user_registry_path, log_options));
-  }
-  if (!options.storage_path.empty()) {
-    note(manager_.AttachStorage(options.storage_path, log_options));
-  }
+  note(users_.AttachStore(hub_->store("users")));
+  note(manager_.AttachStore(hub_->store("subscriptions")));
 }
 
 Result<std::unique_ptr<XylemeMonitor>> XylemeMonitor::Open(
@@ -97,11 +121,24 @@ Result<std::unique_ptr<XylemeMonitor>> XylemeMonitor::Open(
 }
 
 Status XylemeMonitor::CheckpointStorage() {
-  std::lock_guard<std::mutex> lock(api_mutex_);
-  XYMON_RETURN_IF_ERROR(manager_.CheckpointStorage());
-  XYMON_RETURN_IF_ERROR(pipeline_.CheckpointWarehouses());
-  XYMON_RETURN_IF_ERROR(users_.CheckpointStorage());
-  return outbox_.CheckpointStorage();
+  uint64_t epoch = 0;
+  std::shared_ptr<CheckpointTicket> ticket;
+  {
+    // Flat stores checkpoint inline; warehouse partitions get a checkpoint
+    // marker queued on each shard (a batch boundary — batches are scattered
+    // under this same mutex, so a marker never lands mid-batch on a shard).
+    std::lock_guard<std::mutex> lock(api_mutex_);
+    if (hub_ != nullptr) epoch = hub_->BeginEpoch();
+    XYMON_RETURN_IF_ERROR(manager_.CheckpointStorage());
+    XYMON_RETURN_IF_ERROR(users_.CheckpointStorage());
+    XYMON_RETURN_IF_ERROR(outbox_.CheckpointStorage());
+    ticket = pipeline_.CheckpointWarehousesAsync();
+  }
+  // Wait *outside* api_mutex_: the document flow keeps running while the
+  // partitions checkpoint on their shard threads — a batch touching only
+  // already-finished shards completes mid-checkpoint (no full quiesce).
+  XYMON_RETURN_IF_ERROR(ticket->Wait());
+  return hub_ != nullptr ? hub_->CommitEpoch(epoch) : Status::OK();
 }
 
 Status XylemeMonitor::AddUser(const manager::User& user) {
@@ -268,14 +305,28 @@ void XylemeMonitor::Deliver(const DocJob& job, DocOutcome& outcome) {
         ++stats_.notifications;
         break;
       case DeliveryAction::Kind::kTriggerEvent:
-        trigger_engine_.NotifyEvent(action.event_key, now);
+        // Deferred to the post-batch epoch barrier (FlushTriggerEventsLocked)
+        // so notification-raised continuous queries see the fully ingested
+        // batch — the same evaluation point for every shard count.
+        pending_trigger_events_.push_back(std::move(action.event_key));
         break;
     }
   }
 }
 
+void XylemeMonitor::FlushTriggerEventsLocked() {
+  if (pending_trigger_events_.empty()) return;
+  std::vector<std::string> events;
+  events.swap(pending_trigger_events_);
+  Timestamp now = clock_->Now();
+  for (const std::string& key : events) {
+    trigger_engine_.NotifyEvent(key, now);
+  }
+}
+
 void XylemeMonitor::ProcessJobsLocked(const std::vector<DocJob>& jobs) {
   pipeline_.ProcessBatch(jobs, clock_->Now(), this);
+  FlushTriggerEventsLocked();
 }
 
 void XylemeMonitor::ProcessFetch(const std::string& url,
@@ -299,6 +350,7 @@ Status XylemeMonitor::ProcessDeletionLocked(const std::string& url) {
   std::vector<DocOutcome> outcomes;
   pipeline_.ProcessBatch({DocJob{url, /*body=*/"", /*deletion=*/true}},
                          clock_->Now(), this, &outcomes);
+  FlushTriggerEventsLocked();
   return outcomes.empty() ? Status::OK() : outcomes[0].status;
 }
 

@@ -12,6 +12,7 @@
 #include "src/mqp/processor.h"
 #include "src/query/engine.h"
 #include "src/reporter/reporter.h"
+#include "src/storage/storage_hub.h"
 #include "src/sublang/validator.h"
 #include "src/system/pipeline.h"
 #include "src/trigger/trigger_engine.h"
@@ -47,9 +48,10 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
     bool use_trie_prefixes = false;
     /// Subscription recovery log path; "" disables persistence.
     std::string storage_path;
-    /// Warehouse store path; "" keeps the repository in memory only. With
-    /// N > 1 shards, shard 0 uses the path as-is and shard i opens
-    /// `<path>.s<i>` — reopen with the same shard count.
+    /// Warehouse store path; "" keeps the repository in memory only. The
+    /// StorageHub opens one partition file per shard and records the layout
+    /// in `<path>.manifest` — reopening with a different num_shards
+    /// re-scatters the partitions automatically (DESIGN.md §12).
     std::string warehouse_path;
     /// User-registry store path; "" keeps accounts in memory only.
     std::string user_registry_path;
@@ -68,6 +70,9 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
     /// fsync the subscription log every N appends (0 = flush only); see
     /// LogStore::Options.
     uint32_t storage_fsync_every_n = 0;
+    /// Auto-checkpoint bound the StorageHub applies to *every* store —
+    /// warehouse partitions, subscriptions, users, outbox (0 disables).
+    size_t auto_checkpoint_bytes = 64u << 20;
     sublang::ValidatorOptions validator;
   };
 
@@ -122,10 +127,14 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
   /// all stores opened, or none were configured).
   const Status& storage_status() const { return storage_status_; }
 
-  /// Atomically compacts every attached store (subscriptions, warehouse
-  /// shards, users, outbox). Crash-safe at any I/O operation: a torn
-  /// checkpoint is discarded on recovery in favour of the previous one plus
-  /// the log.
+  /// Coordinated checkpoint of every attached store. Flat stores
+  /// (subscriptions, users, outbox) checkpoint inline; each warehouse
+  /// partition checkpoints on its own shard thread at a batch boundary —
+  /// without quiescing the document flow, so with N > 1 shards a batch
+  /// touching only the other shards completes while one partition is still
+  /// checkpointing. The hub's manifest records the epoch once every store
+  /// finished. Crash-safe at any I/O operation: a torn checkpoint is
+  /// discarded on recovery in favour of the previous one plus the log.
   Status CheckpointStorage();
 
   // -- Subscriptions ----------------------------------------------------------
@@ -216,6 +225,9 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
   }
   trigger::TriggerEngine& trigger_engine() { return trigger_engine_; }
   const query::QueryEngine& query_engine() const { return query_engine_; }
+  /// The storage hub owning every store; nullptr when no storage path was
+  /// configured (or the hub failed to open — see storage_status()).
+  storage::StorageHub* storage_hub() { return hub_.get(); }
 
  private:
   // Stage 4a (runs on shard threads; read-only over manager/query state).
@@ -230,6 +242,11 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
   Status ProcessDeletionLocked(const std::string& url);
   void ProcessDocStatusEventsLocked(
       const std::vector<webstub::DocStatusEvent>& events);
+  /// Fires the trigger events Deliver collected during the current batch —
+  /// the post-batch epoch barrier. Notification-raised continuous queries
+  /// therefore evaluate against the fully ingested batch, identically for
+  /// every shard count (the former §11 timing caveat).
+  void FlushTriggerEventsLocked();
 
   void CollectPayloads(const manager::QueryBinding& binding,
                        const mqp::MqpNotification& notification,
@@ -239,6 +256,9 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
   const Clock* clock_;
   size_t crawl_batch_size_;
   warehouse::DomainClassifier classifier_;
+  /// Owns every PersistentMap; declared before pipeline_ so the shard
+  /// workers (which touch warehouse partitions) join before the stores die.
+  std::unique_ptr<storage::StorageHub> hub_;
   IngestPipeline pipeline_;
   trigger::TriggerEngine trigger_engine_;
   reporter::Outbox outbox_;
@@ -249,6 +269,9 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
   manager::SubscriptionManager manager_;
   Status storage_status_;
   Stats stats_;
+  /// Trigger events deferred by Deliver until the batch completes (guarded
+  /// by api_mutex_, like every delivery structure).
+  std::vector<std::string> pending_trigger_events_;
   webstub::CrawlerStats last_crawler_stats_;
   uint64_t quarantined_urls_ = 0;
 

@@ -221,14 +221,23 @@ void IngestPipeline::WorkerLoop(PipelineShard* shard) {
                      [shard] { return shard->stop || !shard->queue.empty(); });
       if (shard->queue.empty()) return;  // stop requested, nothing queued
       batch.swap(shard->queue);
-      shard->busy = true;
     }
-    for (const ShardWorkItem& item : batch) ProcessOne(*shard, item);
-    {
-      std::lock_guard<std::mutex> lock(shard->mutex);
-      shard->busy = false;
+    for (const ShardWorkItem& item : batch) {
+      if (item.kind == ShardWorkItem::Kind::kCheckpoint) {
+        // Queue order makes this a batch boundary: every document scattered
+        // before the marker has already been processed. Only this shard's
+        // later documents wait for the checkpoint; other shards keep going.
+        item.ticket->Complete(shard->warehouse.CheckpointStorage());
+        continue;
+      }
+      ProcessOne(*shard, item);
+      bool drained;
+      {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        drained = --shard->inflight_docs == 0;
+      }
+      if (drained) shard->cv.notify_all();
     }
-    shard->cv.notify_all();
   }
 }
 
@@ -245,7 +254,10 @@ void IngestPipeline::ProcessBatch(const std::vector<DocJob>& jobs,
     // trigger for document i fires before document i+1 is ingested).
     PipelineShard& shard = *shards_[0];
     for (size_t i = 0; i < jobs.size(); ++i) {
-      ShardWorkItem item{&jobs[i], /*docid_hint=*/0, now, &outcomes[i]};
+      ShardWorkItem item;
+      item.job = &jobs[i];
+      item.now = now;
+      item.outcome = &outcomes[i];
       ProcessOne(shard, item);
       if (sink != nullptr) sink->Deliver(jobs[i], outcomes[i]);
     }
@@ -266,19 +278,26 @@ void IngestPipeline::ProcessBatch(const std::vector<DocJob>& jobs,
     PipelineShard& shard = *shards_[ShardFor(jobs[i].url)];
     {
       std::lock_guard<std::mutex> lock(shard.mutex);
-      shard.queue.push_back(ShardWorkItem{&jobs[i], hint, now, &outcomes[i]});
+      ShardWorkItem item;
+      item.job = &jobs[i];
+      item.docid_hint = hint;
+      item.now = now;
+      item.outcome = &outcomes[i];
+      shard.queue.push_back(std::move(item));
+      ++shard.inflight_docs;
       shard.queue_high_water =
           std::max<uint64_t>(shard.queue_high_water, shard.queue.size());
     }
     shard.cv.notify_one();
   }
 
-  // Barrier: wait for every shard to drain. The lock acquisitions also
-  // publish the workers' writes to `outcomes` to this thread.
+  // Barrier: wait until every scattered document is processed (checkpoint
+  // markers do not count — a shard mid-checkpoint delays only its own
+  // documents). The lock acquisitions also publish the workers' writes to
+  // `outcomes` to this thread.
   for (auto& shard : shards_) {
     std::unique_lock<std::mutex> lock(shard->mutex);
-    shard->cv.wait(lock,
-                   [&shard] { return shard->queue.empty() && !shard->busy; });
+    shard->cv.wait(lock, [&shard] { return shard->inflight_docs == 0; });
   }
 
   // Ordered gather: deliver in submission-slot order, independent of which
@@ -291,13 +310,16 @@ void IngestPipeline::ProcessBatch(const std::vector<DocJob>& jobs,
   if (outcomes_out != nullptr) *outcomes_out = std::move(outcomes);
 }
 
-Status IngestPipeline::AttachWarehouseStorage(
-    const std::string& path, const storage::LogStore::Options& options) {
+Status IngestPipeline::AttachStorageHub(storage::StorageHub* hub) {
+  if (hub->partition_count() != shards_.size()) {
+    return Status::InvalidArgument(
+        "pipeline has " + std::to_string(shards_.size()) +
+        " shards but the storage hub opened " +
+        std::to_string(hub->partition_count()) + " partitions");
+  }
   for (size_t i = 0; i < shards_.size(); ++i) {
-    std::string shard_path =
-        i == 0 ? path : path + ".s" + std::to_string(i);
     XYMON_RETURN_IF_ERROR(
-        shards_[i]->warehouse.AttachStorage(shard_path, options));
+        shards_[i]->warehouse.AttachStore(hub->partition(i)));
   }
   if (shards_.size() > 1) {
     // Recovery: rebuild the central URL → DOCID map and re-seed the shared
@@ -315,11 +337,25 @@ Status IngestPipeline::AttachWarehouseStorage(
   return Status::OK();
 }
 
-Status IngestPipeline::CheckpointWarehouses() {
-  for (auto& shard : shards_) {
-    XYMON_RETURN_IF_ERROR(shard->warehouse.CheckpointStorage());
+std::shared_ptr<CheckpointTicket> IngestPipeline::CheckpointWarehousesAsync() {
+  auto ticket = std::make_shared<CheckpointTicket>();
+  ticket->remaining_ = shards_.size();
+  if (shards_.size() == 1) {
+    // Inline pipeline: no worker thread to hand the marker to.
+    ticket->Complete(shards_[0]->warehouse.CheckpointStorage());
+    return ticket;
   }
-  return Status::OK();
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      ShardWorkItem item;
+      item.kind = ShardWorkItem::Kind::kCheckpoint;
+      item.ticket = ticket;
+      shard->queue.push_back(std::move(item));
+    }
+    shard->cv.notify_one();
+  }
+  return ticket;
 }
 
 PipelineStats IngestPipeline::stats() const {

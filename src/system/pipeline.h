@@ -17,6 +17,7 @@
 #include "src/common/clock.h"
 #include "src/common/result.h"
 #include "src/mqp/processor.h"
+#include "src/storage/storage_hub.h"
 #include "src/warehouse/warehouse.h"
 
 namespace xymon::system {
@@ -156,14 +157,47 @@ struct PipelineStats {
 
 // -- Shards ------------------------------------------------------------------
 
-/// One work item scattered to a shard: the job, the slot it was submitted
-/// in (for ordered gather), the centrally pre-assigned DOCID and the batch
-/// timestamp.
+/// Completion handle for a parallel warehouse checkpoint: each shard
+/// checkpoints its partition on its own worker thread at a batch boundary,
+/// while the other shards keep processing documents. Wait() blocks until
+/// every shard finished and returns the first error.
+class CheckpointTicket {
+ public:
+  Status Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+    return status_;
+  }
+
+ private:
+  friend class IngestPipeline;
+
+  void Complete(const Status& status) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (status_.ok() && !status.ok()) status_ = status;
+    if (remaining_ > 0 && --remaining_ == 0) cv_.notify_all();
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t remaining_ = 0;
+  Status status_;
+};
+
+/// One work item scattered to a shard: either a document (the job, the slot
+/// it was submitted in for ordered gather, the centrally pre-assigned DOCID
+/// and the batch timestamp) or a checkpoint marker. Markers ride the same
+/// queue, so a shard checkpoints exactly at a batch boundary: after every
+/// document scattered before the marker, before any scattered after it.
 struct ShardWorkItem {
+  enum class Kind { kDocument, kCheckpoint };
+  Kind kind = Kind::kDocument;
   const DocJob* job = nullptr;
   uint64_t docid_hint = 0;
   Timestamp now = 0;
   DocOutcome* outcome = nullptr;
+  /// kCheckpoint: completion handle shared by every shard's marker.
+  std::shared_ptr<CheckpointTicket> ticket;
 };
 
 /// One partition of the document flow: a warehouse partition plus a full
@@ -188,13 +222,16 @@ struct PipelineShard {
   std::unique_ptr<MatchStage> match_stage;
 
   // Worker machinery (idle in a one-shard pipeline). `mutex` guards the
-  // queue, flags and counters.
+  // queue, flags and counters. The batch barrier waits on `inflight_docs`
+  // (documents scattered but not yet fully processed) rather than queue
+  // emptiness, so a checkpoint marker draining slowly on one shard never
+  // blocks the other shards' batches.
   std::thread worker;
   mutable std::mutex mutex;
   std::condition_variable cv;
   std::deque<ShardWorkItem> queue;
   bool stop = false;
-  bool busy = false;
+  size_t inflight_docs = 0;
 
   // Stage counters (guarded by `mutex`).
   uint64_t queue_high_water = 0;
@@ -259,14 +296,22 @@ class IngestPipeline {
                     DeliverySink* sink,
                     std::vector<DocOutcome>* outcomes_out = nullptr);
 
-  /// Storage plumbing: shard 0 opens `path` (the historical single-store
-  /// layout, so a 1-shard pipeline reopens pre-pipeline stores), shard i>0
-  /// opens `path`.s<i>. Recovery rebuilds the central DOCID map and the
-  /// shared DTD registry from the recovered partitions. Reopen with the
-  /// same shard count the stores were written with (ROADMAP: resharding).
-  Status AttachWarehouseStorage(const std::string& path,
-                                const storage::LogStore::Options& options);
-  Status CheckpointWarehouses();
+  /// Storage plumbing: attaches shard i's warehouse to the hub's partition
+  /// i (the hub has already opened — and, if the shard count changed,
+  /// resharded — every partition). Recovery rebuilds the central DOCID map
+  /// and the shared DTD registry from the recovered partitions. The hub's
+  /// partition count must equal the shard count.
+  Status AttachStorageHub(storage::StorageHub* hub);
+
+  /// Starts a parallel, non-quiescing checkpoint: a marker is queued on
+  /// every shard and each partition checkpoints on its own worker thread at
+  /// a batch boundary. Returns immediately; Wait() on the ticket for
+  /// completion. Inline (1-shard) pipelines checkpoint on the caller
+  /// thread and return an already-completed ticket.
+  std::shared_ptr<CheckpointTicket> CheckpointWarehousesAsync();
+
+  /// Synchronous convenience over CheckpointWarehousesAsync().
+  Status CheckpointWarehouses() { return CheckpointWarehousesAsync()->Wait(); }
 
   PipelineStats stats() const;
   uint64_t total_document_count() const;

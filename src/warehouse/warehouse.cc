@@ -100,12 +100,12 @@ Status Warehouse::DecodeEntry(const std::string& url,
 }
 
 void Warehouse::PersistEntry(const Entry& entry) {
-  if (!store_.has_value()) return;
+  if (store_ == nullptr) return;
   (void)store_->Put(DocKey(entry.meta.url), EncodeEntry(entry));
 }
 
 void Warehouse::PersistCounters() {
-  if (!store_.has_value()) return;
+  if (store_ == nullptr) return;
   std::string out;
   xml::PutVarint(next_docid_, &out);
   xml::PutVarint(dtd_ids_.size(), &out);
@@ -120,10 +120,17 @@ Status Warehouse::AttachStorage(const std::string& path,
                                 const storage::LogStore::Options& options) {
   auto store = storage::PersistentMap::Open(path, options);
   if (!store.ok()) return store.status();
-  store_ = std::move(store).value();
+  owned_store_ = std::move(store).value();
   // Every content change appends a full document record; compact when the
   // log reaches 64 MB so update churn cannot grow it without bound.
-  store_->SetAutoCheckpoint(64u << 20);
+  // (Hub-owned stores get their bound from StorageHub::Options instead.)
+  owned_store_->SetAutoCheckpoint(64u << 20);
+  return AttachStore(&*owned_store_);
+}
+
+Status Warehouse::AttachStore(storage::PersistentMap* store) {
+  store_ = store;
+  if (store_ == nullptr) return Status::OK();
 
   if (auto counters = store_->Get(kCountersKey); counters.has_value()) {
     std::string_view data(*counters);
@@ -146,6 +153,56 @@ Status Warehouse::AttachStorage(const std::string& path,
     XYMON_RETURN_IF_ERROR(DecodeEntry(key.substr(2), value));
   }
   return Status::OK();
+}
+
+storage::ReshardHooks Warehouse::MakeReshardHooks() {
+  storage::ReshardHooks hooks;
+  hooks.route = [](std::string_view key, size_t num_partitions) {
+    std::vector<size_t> targets;
+    if (StartsWith(key, "d:")) {
+      // Document records follow the pipeline's URL partitioning.
+      targets.push_back(
+          static_cast<size_t>(Fnv1a(key.substr(2)) % num_partitions));
+    } else {
+      // Per-partition bookkeeping (the counters record) lives everywhere.
+      for (size_t i = 0; i < num_partitions; ++i) targets.push_back(i);
+    }
+    return targets;
+  };
+  hooks.merge = [](std::string_view key,
+                   const std::vector<std::string>& values) -> std::string {
+    if (key != kCountersKey) return values.front();
+    uint64_t next_docid = 1;
+    std::vector<std::pair<std::string, uint32_t>> dtds;
+    std::unordered_map<std::string, uint32_t> seen;
+    for (const std::string& value : values) {
+      std::string_view data(value);
+      uint64_t docid = 1, dtd_count = 0;
+      if (!xml::GetVarint(&data, &docid) || !xml::GetVarint(&data, &dtd_count)) {
+        continue;
+      }
+      if (docid > next_docid) next_docid = docid;
+      for (uint64_t i = 0; i < dtd_count; ++i) {
+        std::string dtd_url;
+        uint64_t id = 0;
+        if (!xml::GetString(&data, &dtd_url) || !xml::GetVarint(&data, &id)) {
+          break;
+        }
+        if (seen.emplace(dtd_url, static_cast<uint32_t>(id)).second) {
+          dtds.emplace_back(dtd_url, static_cast<uint32_t>(id));
+        }
+      }
+    }
+    std::string out;
+    xml::PutVarint(next_docid, &out);
+    xml::PutVarint(dtds.size(), &out);
+    for (const auto& [dtd_url, id] : dtds) {
+      xml::PutString(dtd_url, &out);
+      xml::PutVarint(id, &out);
+    }
+    return out;
+  };
+  return hooks;
 }
 
 uint32_t DtdRegistry::IdFor(const std::string& dtd_url) {

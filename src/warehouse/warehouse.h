@@ -12,6 +12,7 @@
 #include "src/common/clock.h"
 #include "src/common/result.h"
 #include "src/storage/persistent_map.h"
+#include "src/storage/storage_hub.h"
 #include "src/warehouse/domain_classifier.h"
 #include "src/warehouse/metadata.h"
 #include "src/warehouse/version_chain.h"
@@ -101,10 +102,22 @@ class Warehouse : public DocumentSource {
   Status AttachStorage(const std::string& path,
                        const storage::LogStore::Options& options = {});
 
-  /// Atomically compacts the backing store (no-op without AttachStorage).
+  /// Non-owning variant: recovers from (and writes through to) `store`,
+  /// whose lifetime the caller manages — when the monitor runs, every store
+  /// is owned by the StorageHub (DESIGN.md §12). nullptr detaches.
+  Status AttachStore(storage::PersistentMap* store);
+
+  /// Atomically compacts the backing store (no-op without storage).
   Status CheckpointStorage() {
-    return store_.has_value() ? store_->Checkpoint() : Status::OK();
+    return store_ != nullptr ? store_->Checkpoint() : Status::OK();
   }
+
+  /// How warehouse records move when the StorageHub reshards: document
+  /// records ("d:<url>") follow hash(url) % M — the same partitioning the
+  /// pipeline scatters by — and the counters record replicates to every
+  /// partition, with next_docid taken as the max and the DTD tables
+  /// unioned (ids are globally consistent, so the union is conflict-free).
+  static storage::ReshardHooks MakeReshardHooks();
 
   /// Retains up to `max_deltas` historical versions per XML document
   /// (snapshot + deltas, paper [17]). Off by default — the monitoring chain
@@ -204,7 +217,8 @@ class Warehouse : public DocumentSource {
   bool versioning_ = false;
   size_t max_deltas_ = 16;
   uint32_t max_parse_failures_ = 3;
-  std::optional<storage::PersistentMap> store_;
+  std::optional<storage::PersistentMap> owned_store_;
+  storage::PersistentMap* store_ = nullptr;
   std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
   std::unordered_map<std::string, uint32_t> dtd_ids_;
   uint64_t next_docid_ = 1;

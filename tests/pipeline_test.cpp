@@ -7,13 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <filesystem>
+#include <mutex>
 #include <random>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "src/storage/env.h"
 #include "src/system/monitor.h"
 #include "src/webstub/crawler.h"
 
@@ -300,6 +303,179 @@ TEST(PipelineConcurrencyTest, SubscribeUnsubscribeDuringBatchesIsQuiesced) {
   for (size_t i = 0; i < monitor.pipeline().shard_count(); ++i) {
     EXPECT_EQ(monitor.pipeline().shard(i).mqp.matcher().size(), 1u);
   }
+}
+
+/// MemEnv wrapper that parks the caller inside NewWritableFile for one
+/// specific path until released — holding one shard's checkpoint open
+/// mid-I/O while the test drives batches through the other shards.
+class GateEnv : public storage::Env {
+ public:
+  Result<std::unique_ptr<storage::WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (path == gate_path_) {
+        entered_ = true;
+        cv_.notify_all();
+        cv_.wait(lock, [this] { return released_; });
+      }
+    }
+    return base_.NewWritableFile(path, truncate);
+  }
+  Result<std::unique_ptr<storage::SequentialFile>> NewSequentialFile(
+      const std::string& path) override {
+    return base_.NewSequentialFile(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_.FileExists(path);
+  }
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    return base_.GetFileSize(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return base_.RenameFile(from, to);
+  }
+  Status DeleteFile(const std::string& path) override {
+    return base_.DeleteFile(path);
+  }
+  Status SyncDir(const std::string& dir) override {
+    return base_.SyncDir(dir);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return base_.ListDir(dir);
+  }
+
+  void ArmGate(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    gate_path_ = path;
+    entered_ = false;
+    released_ = false;
+  }
+  void WaitUntilEntered() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return entered_; });
+  }
+  void ReleaseGate() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    released_ = true;
+    gate_path_.clear();
+    cv_.notify_all();
+  }
+
+ private:
+  storage::MemEnv base_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::string gate_path_;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+// The no-quiesce acceptance criterion: with 4 shards, one partition's
+// checkpoint is held open mid-I/O while a batch touching only the other
+// three shards runs to completion — the flow never stops for a checkpoint.
+TEST(PipelineCheckpointTest, CheckpointOnOneShardDoesNotQuiesceTheFlow) {
+  GateEnv env;
+  SimClock clock(1000);
+  XylemeMonitor::Options options;
+  options.num_shards = 4;
+  options.warehouse_path = "mon/wh";
+  options.env = &env;
+  XylemeMonitor monitor(&clock, options);
+  ASSERT_TRUE(monitor.storage_status().ok())
+      << monitor.storage_status().ToString();
+  ASSERT_TRUE(monitor.Subscribe(kWatchAll, "all@example.org").ok());
+
+  auto batches = GenerateBatches(/*rounds=*/1, /*urls=*/40);
+  monitor.ProcessFetchBatch(batches[0]);
+
+  // Hold shard 0's partition checkpoint open at its first temp-file write.
+  env.ArmGate("mon/wh.ckpt.tmp");
+  std::atomic<bool> checkpoint_done{false};
+  Status checkpoint_status;
+  std::thread checkpoint([&] {
+    checkpoint_status = monitor.CheckpointStorage();
+    checkpoint_done.store(true);
+  });
+  env.WaitUntilEntered();
+
+  // A batch owned entirely by shards 1–3 completes while shard 0 is still
+  // inside its checkpoint (a full quiesce would deadlock right here).
+  std::vector<webstub::FetchedDoc> other_shards;
+  for (int u = 0; other_shards.size() < 12; ++u) {
+    webstub::FetchedDoc doc;
+    doc.url = "http://w" + std::to_string(u % 5) + ".example.org/late" +
+              std::to_string(u) + ".xml";
+    if (monitor.pipeline().ShardFor(doc.url) == 0) continue;
+    doc.body = "<Catalog><Item>late</Item></Catalog>";
+    other_shards.push_back(std::move(doc));
+  }
+  uint64_t before = monitor.stats().documents_processed;
+  monitor.ProcessFetchBatch(other_shards);
+  EXPECT_EQ(monitor.stats().documents_processed, before + 12);
+  EXPECT_FALSE(checkpoint_done.load());
+
+  env.ReleaseGate();
+  checkpoint.join();
+  ASSERT_TRUE(checkpoint_status.ok()) << checkpoint_status.ToString();
+  ASSERT_NE(monitor.storage_hub(), nullptr);
+  EXPECT_EQ(monitor.storage_hub()->last_committed_epoch(), 1u);
+}
+
+// Epoch-consistent triggers: a notification-raised continuous query
+// evaluates at the post-batch barrier, after every document of the batch is
+// ingested — for every shard count. The batch updates the products page
+// (raising the trigger) *before* the market page it queries; both shard
+// counts must still report the market page's post-batch contents.
+TEST(PipelineTriggerTest, NotificationTriggersSeeTheWholeBatchOnEveryShardCount) {
+  auto run = [](size_t num_shards) {
+    SimClock clock(1000);
+    XylemeMonitor::Options options;
+    options.num_shards = num_shards;
+    XylemeMonitor monitor(&clock, options);
+    EXPECT_TRUE(monitor
+                    .Subscribe(R"(
+subscription XylemeCompetitors
+monitoring ChangeInMyProducts
+select default
+where URL = "http://www.xyleme.com/products.xml" and modified self
+continuous MyCompetitors
+select c from market//competitor c
+when XylemeCompetitors.ChangeInMyProducts
+report when immediate
+)",
+                               "ceo@xyleme.com")
+                    .ok());
+    monitor.AddDomainRule({"market", "", "competitors", ""});
+    monitor.ProcessFetchBatch(
+        {{"http://scan/market.xml",
+          "<competitors><competitor>conquer1</competitor></competitors>"},
+         {"http://www.xyleme.com/products.xml", "<p>v1</p>"}});
+    // The deciding batch: the modified products page precedes the market
+    // update in submission order.
+    monitor.ProcessFetchBatch(
+        {{"http://www.xyleme.com/products.xml", "<p>v2</p>"},
+         {"http://scan/market.xml",
+          "<competitors><competitor>conquer2</competitor></competitors>"}});
+    std::vector<std::pair<std::string, std::string>> mail;
+    for (const reporter::Email& email : monitor.outbox().sent()) {
+      mail.emplace_back(email.to, email.body);
+    }
+    return std::make_pair(monitor.trigger_engine().firings(), mail);
+  };
+
+  auto [one_firings, one_mail] = run(1);
+  auto [four_firings, four_mail] = run(4);
+  EXPECT_EQ(one_firings, 1u);
+  EXPECT_EQ(one_firings, four_firings);
+  ASSERT_FALSE(one_mail.empty());
+  EXPECT_EQ(one_mail, four_mail);
+  // The continuous query saw the market page as of the END of the batch.
+  bool saw_post_batch = false;
+  for (const auto& [to, body] : one_mail) {
+    if (body.find("conquer2") != std::string::npos) saw_post_batch = true;
+  }
+  EXPECT_TRUE(saw_post_batch);
 }
 
 }  // namespace
