@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -22,6 +22,7 @@ enum class StatusCode {
   kUnimplemented,
   kParseError,
   kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name ("Ok", "ParseError", ...).
@@ -71,6 +72,11 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  /// An operation ran past its deadline (batch watchdog, bounded waits).
+  /// The work may still be in flight; the caller has given up on it.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -92,6 +98,9 @@ class Status {
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "Ok" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -169,6 +169,7 @@ Status SubscriptionManager::RegisterComplex(mqp::ComplexEventId id,
       return st;
     }
   }
+  complex_defs_[id] = events;
   return Status::OK();
 }
 
@@ -177,6 +178,54 @@ void SubscriptionManager::UnregisterComplex(mqp::ComplexEventId id) {
   for (const DetectionReplica& r : components_.replicas) {
     (void)r.mqp->Unregister(id);
   }
+  complex_defs_.erase(id);
+}
+
+Status SubscriptionManager::RebindReplica(size_t shard_index,
+                                          const DetectionReplica& replica) {
+  if (replica.mqp == nullptr || replica.url_alerter == nullptr ||
+      replica.xml_alerter == nullptr || replica.html_alerter == nullptr) {
+    return Status::InvalidArgument("RebindReplica: incomplete replica");
+  }
+  if (shard_index == 0) {
+    components_.mqp = replica.mqp;
+    components_.url_alerter = replica.url_alerter;
+    components_.xml_alerter = replica.xml_alerter;
+    components_.html_alerter = replica.html_alerter;
+    components_.pipeline = replica.pipeline;
+  } else if (shard_index - 1 < components_.replicas.size()) {
+    components_.replicas[shard_index - 1] = replica;
+  } else {
+    return Status::InvalidArgument("RebindReplica: no replica for shard " +
+                                   std::to_string(shard_index));
+  }
+
+  // Replay every live registration into the fresh structures, in the order
+  // they were originally built (codes and complex ids are allocated
+  // monotonically, so ascending-id replay reproduces the structures a
+  // never-restarted replica holds).
+  std::vector<const CodeEntry*> entries;
+  entries.reserve(codes_.size());
+  for (const auto& [key, entry] : codes_) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const CodeEntry* a, const CodeEntry* b) {
+              return a->code < b->code;
+            });
+  for (const CodeEntry* entry : entries) {
+    XYMON_RETURN_IF_ERROR(RegisterOnReplica(
+        entry->code, entry->condition, replica.url_alerter,
+        replica.xml_alerter, replica.html_alerter, replica.pipeline));
+  }
+
+  std::vector<std::pair<mqp::ComplexEventId, const mqp::EventSet*>> defs;
+  defs.reserve(complex_defs_.size());
+  for (const auto& [id, events] : complex_defs_) defs.emplace_back(id, &events);
+  std::sort(defs.begin(), defs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [id, events] : defs) {
+    XYMON_RETURN_IF_ERROR(replica.mqp->Register(id, *events));
+  }
+  return Status::OK();
 }
 
 Result<mqp::AtomicEvent> SubscriptionManager::AcquireCode(

@@ -129,6 +129,16 @@ class SubscriptionManager {
   /// swap is atomic — on any failure the old subscription stays active.
   Status Modify(const std::string& name, const std::string& text);
 
+  /// Swaps one shard's detection replica for a fresh (empty) one and
+  /// replays every live registration into it — the subscription half of a
+  /// pipeline shard restart (DESIGN.md §13). `shard_index` 0 is the primary
+  /// replica, 1..N the mirrors. Replay order is deterministic (condition
+  /// codes ascending, then complex events ascending — the order the
+  /// structures were originally built in, since codes are allocated
+  /// monotonically), so a restarted shard's detection structures match a
+  /// never-restarted clone's. The caller quiesces the document flow.
+  Status RebindReplica(size_t shard_index, const DetectionReplica& replica);
+
   /// Binding for a fired complex event; nullptr if unknown.
   const QueryBinding* FindBinding(mqp::ComplexEventId id) const;
 
@@ -196,6 +206,9 @@ class SubscriptionManager {
   mqp::ComplexEventId next_complex_ = 1;
   std::map<std::string, SubRecord> subs_;
   std::unordered_map<mqp::ComplexEventId, QueryBinding> bindings_;
+  /// The EventSet each live complex event was registered with — kept so
+  /// RebindReplica can replay registrations into a restarted shard's MQP.
+  std::unordered_map<mqp::ComplexEventId, mqp::EventSet> complex_defs_;
   std::map<std::string, Timestamp> refresh_hints_;
   std::optional<storage::PersistentMap> owned_store_;
   storage::PersistentMap* store_ = nullptr;

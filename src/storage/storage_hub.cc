@@ -239,6 +239,24 @@ Result<std::unique_ptr<StorageHub>> StorageHub::Open(const Options& options) {
   return hub;
 }
 
+Status StorageHub::ReopenPartition(size_t index) {
+  if (index >= partitions_.size()) {
+    return Status::InvalidArgument("StorageHub: no partition " +
+                                   std::to_string(index));
+  }
+  // Release the old map first — its log handle must be closed before the
+  // same file is opened for recovery.
+  partitions_[index].reset();
+  auto map = PersistentMap::Open(
+      PartitionPath(options_.partitioned_path, generation_, index),
+      options_.log);
+  if (!map.ok()) return map.status();
+  auto owned = std::make_unique<PersistentMap>(std::move(map).value());
+  owned->SetAutoCheckpoint(options_.auto_checkpoint_bytes);
+  partitions_[index] = std::move(owned);
+  return Status::OK();
+}
+
 PersistentMap* StorageHub::store(std::string_view name) {
   for (auto& [store_name, map] : stores_) {
     if (store_name == name) return map.get();

@@ -104,6 +104,14 @@ class StorageHub {
   PersistentMap* partition(size_t i) { return partitions_[i].get(); }
   size_t partition_count() const { return partitions_.size(); }
 
+  /// Closes partition `i` and re-opens (recovers) it from its on-disk file
+  /// at the committed layout — the storage half of a pipeline shard restart
+  /// (DESIGN.md §13): the in-memory state is discarded, the log + last
+  /// checkpoint are replayed, and partition(i) returns a fresh pointer.
+  /// The caller must guarantee nothing touches the old pointer concurrently
+  /// (the monitor quiesces the shard first).
+  Status ReopenPartition(size_t index);
+
   /// Partition-layout generation (bumped by every reshard).
   uint64_t generation() const { return generation_; }
 

@@ -19,6 +19,12 @@ IngestPipeline::Options PipelineOptions(
   out.use_trie_prefixes = options.use_trie_prefixes;
   out.max_parse_failures_per_url = options.max_parse_failures_per_url;
   out.classifier = classifier;
+  out.containment = options.fault_containment;
+  out.batch_deadline_ms = options.batch_deadline_ms;
+  out.max_stage_failures_per_url = options.max_stage_failures_per_url;
+  out.queue_high_water_limit = options.queue_high_water_limit;
+  out.health_recovery_batches = options.health_recovery_batches;
+  out.stage_faults = options.stage_faults;
   return out;
 }
 
@@ -49,6 +55,7 @@ manager::SubscriptionManager::Components BuildComponents(
 XylemeMonitor::XylemeMonitor(const Clock* clock, const Options& options)
     : clock_(clock),
       crawl_batch_size_(options.crawl_batch_size),
+      auto_restart_shards_(options.auto_restart_shards),
       pipeline_(PipelineOptions(options, &classifier_)),
       outbox_(reporter::Outbox::Options{options.outbox_daily_capacity, true}),
       query_engine_(pipeline_.document_source()),
@@ -59,6 +66,16 @@ XylemeMonitor::XylemeMonitor(const Clock* clock, const Options& options)
   pipeline_.set_resolver(this);
   reporter_.set_web_portal(&web_portal_);
   manager_.set_user_registry(&users_);
+
+  // Subscription half of a shard restart: the pipeline rebuilt the shard's
+  // detection structures empty; rebind the manager to the fresh pointers and
+  // replay every live registration into them (DESIGN.md §13).
+  pipeline_.set_restart_hook([this](size_t index) {
+    PipelineShard& shard = pipeline_.shard(index);
+    return manager_.RebindReplica(
+        index, {&shard.mqp, &shard.url_alerter, &shard.xml_alerter,
+                &shard.html_alerter, &shard.alert_pipeline});
+  });
 
   // Cold-start recovery through the StorageHub, which owns every store and
   // the layout manifest. Opening the hub recovers the warehouse partitions
@@ -284,6 +301,13 @@ void XylemeMonitor::Resolve(const warehouse::IngestResult& ingest,
 
 void XylemeMonitor::Deliver(const DocJob& job, DocOutcome& outcome) {
   (void)job;
+  if (outcome.failed) {
+    // Contained stage failure / poison rejection / watchdog deadline: the
+    // document produced no durable effect; count it and let the crawler
+    // retry the URL on its next round.
+    ++stats_.failed_documents;
+    return;
+  }
   if (!outcome.processed) return;  // failed deletion: nothing entered the flow
   ++stats_.documents_processed;
   if (outcome.degraded) {
@@ -324,9 +348,16 @@ void XylemeMonitor::FlushTriggerEventsLocked() {
   }
 }
 
-void XylemeMonitor::ProcessJobsLocked(const std::vector<DocJob>& jobs) {
-  pipeline_.ProcessBatch(jobs, clock_->Now(), this);
+void XylemeMonitor::ProcessJobsLocked(std::vector<DocJob> jobs) {
+  pipeline_.ProcessBatch(std::move(jobs), clock_->Now(), this);
   FlushTriggerEventsLocked();
+  MaybeRestartShardsLocked();
+}
+
+void XylemeMonitor::MaybeRestartShardsLocked() {
+  if (!auto_restart_shards_ || !pipeline_.has_unhealthy_shards()) return;
+  Status st = pipeline_.RestartUnhealthyShards();
+  if (restart_status_.ok() && !st.ok()) restart_status_ = st;
 }
 
 void XylemeMonitor::ProcessFetch(const std::string& url,
@@ -343,7 +374,7 @@ void XylemeMonitor::ProcessFetchBatch(
   for (const webstub::FetchedDoc& doc : docs) {
     jobs.push_back(DocJob{doc.url, doc.body, /*deletion=*/false});
   }
-  ProcessJobsLocked(jobs);
+  ProcessJobsLocked(std::move(jobs));
 }
 
 Status XylemeMonitor::ProcessDeletionLocked(const std::string& url) {
@@ -351,6 +382,7 @@ Status XylemeMonitor::ProcessDeletionLocked(const std::string& url) {
   pipeline_.ProcessBatch({DocJob{url, /*body=*/"", /*deletion=*/true}},
                          clock_->Now(), this, &outcomes);
   FlushTriggerEventsLocked();
+  MaybeRestartShardsLocked();
   return outcomes.empty() ? Status::OK() : outcomes[0].status;
 }
 
@@ -371,7 +403,7 @@ void XylemeMonitor::ProcessCrawl(webstub::Crawler* crawler) {
     for (const webstub::FetchedDoc& doc : docs) {
       jobs.push_back(DocJob{doc.url, doc.body, /*deletion=*/false});
     }
-    ProcessJobsLocked(jobs);
+    ProcessJobsLocked(std::move(jobs));
   };
   if (crawl_batch_size_ == 0) {
     // One batch per round: everything due at once (the historical shape).
@@ -429,6 +461,17 @@ XylemeMonitor::HealthReport XylemeMonitor::health() const {
   report.degraded_documents = stats_.degraded_documents;
   report.disappeared_documents = stats_.disappeared_documents;
   report.reappeared_documents = stats_.reappeared_documents;
+  PipelineStats ps = pipeline_.stats();
+  report.failed_documents = ps.failed_documents;
+  report.stage_failures = ps.stage_failures;
+  report.deadline_exceeded = ps.deadline_exceeded;
+  report.poisoned_urls = ps.poisoned_urls;
+  report.poison_rejections = ps.poison_rejections;
+  report.shard_restarts = ps.shard_restarts;
+  for (const ShardStatus& shard : ps.shard_status) {
+    if (shard.health == ShardHealth::kDegraded) ++report.degraded_shards;
+    if (shard.health == ShardHealth::kQuarantined) ++report.quarantined_shards;
+  }
   report.crawler = last_crawler_stats_;
   return report;
 }
@@ -498,6 +541,23 @@ std::string XylemeMonitor::StatusReport() const {
   pipe->SetAttribute("documents", std::to_string(ps.documents));
   pipe->SetAttribute("queue_high_water",
                      std::to_string(ps.queue_high_water));
+  pipe->SetAttribute("failed_documents", std::to_string(ps.failed_documents));
+  pipe->SetAttribute("stage_failures", std::to_string(ps.stage_failures));
+  pipe->SetAttribute("deadline_exceeded",
+                     std::to_string(ps.deadline_exceeded));
+  pipe->SetAttribute("shard_restarts", std::to_string(ps.shard_restarts));
+  pipe->SetAttribute("backpressure_waits",
+                     std::to_string(ps.backpressure_waits));
+  for (size_t i = 0; i < ps.shard_status.size(); ++i) {
+    const ShardStatus& ss = ps.shard_status[i];
+    xml::Node* sh = pipe->AddChild(xml::Node::Element("Shard"));
+    sh->SetAttribute("index", std::to_string(i));
+    sh->SetAttribute("health", ShardHealthName(ss.health));
+    sh->SetAttribute("restarts", std::to_string(ss.restarts));
+    sh->SetAttribute("stage_failures", std::to_string(ss.stage_failures));
+    sh->SetAttribute("deadline_failures",
+                     std::to_string(ss.deadline_failures));
+  }
   auto stage = [&](const char* name, const StageCounters& c) {
     xml::Node* s = pipe->AddChild(xml::Node::Element("Stage"));
     s->SetAttribute("name", name);
@@ -519,6 +579,14 @@ std::string XylemeMonitor::StatusReport() const {
                    std::to_string(stats_.degraded_documents));
   hp->SetAttribute("disappeared", std::to_string(stats_.disappeared_documents));
   hp->SetAttribute("reappeared", std::to_string(stats_.reappeared_documents));
+  hp->SetAttribute("failed_documents", std::to_string(ps.failed_documents));
+  hp->SetAttribute("poison_rejections",
+                   std::to_string(ps.poison_rejections));
+  hp->SetAttribute("shard_restarts", std::to_string(ps.shard_restarts));
+  for (const std::string& url : pipeline_.poisoned_urls()) {
+    xml::Node* pu = hp->AddChild(xml::Node::Element("PoisonedUrl"));
+    pu->SetAttribute("url", url);
+  }
 
   return xml::Serialize(*root, {.indent = true});
 }

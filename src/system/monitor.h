@@ -74,6 +74,30 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
     /// warehouse partitions, subscriptions, users, outbox (0 disables).
     size_t auto_checkpoint_bytes = 64u << 20;
     sublang::ValidatorOptions validator;
+
+    // -- Self-healing pipeline (DESIGN.md §13) ------------------------------
+
+    /// Stage containment: a stage that throws fails its document instead of
+    /// the process, with poison tracking and shard health accounting. Off
+    /// restores the die-on-throw seed behaviour (bench baseline).
+    bool fault_containment = true;
+    /// Batch deadline in ms (0 = none; multi-shard only): the watchdog
+    /// fails a batch stuck past it and quarantines the wedged shards.
+    uint32_t batch_deadline_ms = 0;
+    /// Consecutive contained stage failures before a URL is quarantined by
+    /// the poison tracker (0 = never).
+    uint32_t max_stage_failures_per_url = 3;
+    /// Shard work-queue high-water mark (0 = unbounded): scatter blocks at
+    /// the limit instead of growing the queue without bound.
+    size_t queue_high_water_limit = 0;
+    /// Clean batches before a degraded shard recovers to healthy.
+    uint64_t health_recovery_batches = 3;
+    /// Restart quarantined shards from storage automatically after the
+    /// batch that quarantined them (and before the next one). Off leaves
+    /// them quarantined for the operator (pipeline().RestartShard).
+    bool auto_restart_shards = true;
+    /// Stage fault injection (tests/benches); owner outlives the monitor.
+    StageFaultInjector* stage_faults = nullptr;
   };
 
   struct Stats {
@@ -83,6 +107,9 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
     uint64_t degraded_documents = 0;  // malformed bodies absorbed & skipped
     uint64_t disappeared_documents = 0;
     uint64_t reappeared_documents = 0;
+    /// Documents whose DocOutcome came back failed (contained stage throw,
+    /// poison rejection, watchdog deadline, shard down).
+    uint64_t failed_documents = 0;
 
     bool operator==(const Stats&) const = default;
   };
@@ -98,6 +125,15 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
     uint64_t degraded_documents = 0;
     uint64_t disappeared_documents = 0;
     uint64_t reappeared_documents = 0;
+    // -- Self-healing pipeline (views over PipelineStats) -------------------
+    uint64_t failed_documents = 0;
+    uint64_t stage_failures = 0;
+    uint64_t deadline_exceeded = 0;
+    uint64_t poisoned_urls = 0;      // gauge: poison-tracker quarantine
+    uint64_t poison_rejections = 0;
+    uint64_t shard_restarts = 0;
+    size_t degraded_shards = 0;      // gauge
+    size_t quarantined_shards = 0;   // gauge
     webstub::CrawlerStats crawler;
 
     bool operator==(const HealthReport&) const = default;
@@ -126,6 +162,11 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
   /// First error any AttachStorage produced during construction (OK when
   /// all stores opened, or none were configured).
   const Status& storage_status() const { return storage_status_; }
+
+  /// First error an automatic shard restart produced (OK when none failed
+  /// or none ran). A failed restart leaves the shard quarantined; the
+  /// document flow keeps running around it.
+  const Status& restart_status() const { return restart_status_; }
 
   /// Coordinated checkpoint of every attached store. Flat stores
   /// (subscriptions, users, outbox) checkpoint inline; each warehouse
@@ -238,7 +279,7 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
   void Deliver(const DocJob& job, DocOutcome& outcome) override;
 
   // Unlocked internals; public methods take api_mutex_ and delegate.
-  void ProcessJobsLocked(const std::vector<DocJob>& jobs);
+  void ProcessJobsLocked(std::vector<DocJob> jobs);
   Status ProcessDeletionLocked(const std::string& url);
   void ProcessDocStatusEventsLocked(
       const std::vector<webstub::DocStatusEvent>& events);
@@ -247,6 +288,13 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
   /// therefore evaluate against the fully ingested batch, identically for
   /// every shard count (the former §11 timing caveat).
   void FlushTriggerEventsLocked();
+  /// After a batch: if the watchdog quarantined any shard and auto-restart
+  /// is on, tear the shards down and rebuild them from storage
+  /// (IngestPipeline::RestartShard) — the restart hook re-registers every
+  /// subscription on the fresh detection replicas. A restart failure parks
+  /// in restart_status() and the shard stays quarantined (the scatter
+  /// routes around it).
+  void MaybeRestartShardsLocked();
 
   void CollectPayloads(const manager::QueryBinding& binding,
                        const mqp::MqpNotification& notification,
@@ -255,6 +303,7 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
 
   const Clock* clock_;
   size_t crawl_batch_size_;
+  bool auto_restart_shards_;
   warehouse::DomainClassifier classifier_;
   /// Owns every PersistentMap; declared before pipeline_ so the shard
   /// workers (which touch warehouse partitions) join before the stores die.
@@ -268,6 +317,7 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
   manager::UserRegistry users_;
   manager::SubscriptionManager manager_;
   Status storage_status_;
+  Status restart_status_;
   Stats stats_;
   /// Trigger events deferred by Deliver until the batch completes (guarded
   /// by api_mutex_, like every delivery structure).

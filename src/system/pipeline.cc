@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <set>
 #include <utility>
 
 #include "src/common/hash.h"
+#include "src/system/stage_faults.h"
 
 namespace xymon::system {
 
@@ -70,6 +72,20 @@ class MqpMatchStage : public MatchStage {
 
 }  // namespace
 
+const char* ShardHealthName(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kHealthy:
+      return "healthy";
+    case ShardHealth::kDegraded:
+      return "degraded";
+    case ShardHealth::kQuarantined:
+      return "quarantined";
+    case ShardHealth::kRestarting:
+      return "restarting";
+  }
+  return "unknown";
+}
+
 PipelineShard::PipelineShard(const warehouse::DomainClassifier* classifier,
                              const alerters::UrlAlerter::Options& url_options)
     : warehouse(classifier),
@@ -79,9 +95,11 @@ PipelineShard::PipelineShard(const warehouse::DomainClassifier* classifier,
       detect_stage(std::make_unique<AlerterDetectStage>(&alert_pipeline)),
       match_stage(std::make_unique<MqpMatchStage>(&mqp)) {}
 
-// Aggregated read view over every shard's warehouse. Results are re-sorted
-// by DOCID: with centrally allocated ids that is submission order, giving
-// continuous queries a shard-count-independent binding order.
+// Aggregated read view over every shard's warehouse. One shard: a pure
+// passthrough (identical iteration order to the pre-pipeline monitor, and a
+// stable pointer across RestartShard). Several: results re-sorted by DOCID —
+// with centrally allocated ids that is submission order, giving continuous
+// queries a shard-count-independent binding order.
 class IngestPipeline::ShardedSource : public warehouse::DocumentSource {
  public:
   explicit ShardedSource(
@@ -90,6 +108,9 @@ class IngestPipeline::ShardedSource : public warehouse::DocumentSource {
 
   std::vector<std::pair<const warehouse::DocMeta*, const xml::Document*>>
   DocumentsInDomain(std::string_view domain) const override {
+    if (shards_->size() == 1) {
+      return (*shards_)[0]->warehouse.DocumentsInDomain(domain);
+    }
     std::vector<std::pair<const warehouse::DocMeta*, const xml::Document*>>
         out;
     for (const auto& shard : *shards_) {
@@ -106,20 +127,33 @@ class IngestPipeline::ShardedSource : public warehouse::DocumentSource {
   const std::vector<std::unique_ptr<PipelineShard>>* shards_;
 };
 
-IngestPipeline::IngestPipeline(const Options& options) {
-  size_t count = std::max<size_t>(1, options.shards);
-  alerters::UrlAlerter::Options url_options{options.use_trie_prefixes};
-  shards_.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    auto shard = std::make_unique<PipelineShard>(options.classifier,
-                                                 url_options);
-    shard->warehouse.set_max_parse_failures(
-        options.max_parse_failures_per_url);
-    if (count > 1) shard->warehouse.set_dtd_registry(&dtd_registry_);
-    shards_.push_back(std::move(shard));
+std::unique_ptr<PipelineShard> IngestPipeline::MakeShard() {
+  alerters::UrlAlerter::Options url_options{options_.use_trie_prefixes};
+  auto shard = std::make_unique<PipelineShard>(options_.classifier,
+                                               url_options);
+  shard->warehouse.set_max_parse_failures(options_.max_parse_failures_per_url);
+  if (options_.shards > 1) {
+    shard->warehouse.set_dtd_registry(&dtd_registry_);
   }
-  if (count > 1) {
-    sharded_source_ = std::make_unique<ShardedSource>(&shards_);
+  if (options_.stage_faults != nullptr) {
+    shard->ingest_stage = std::make_unique<FaultyIngestStage>(
+        std::move(shard->ingest_stage), options_.stage_faults);
+    shard->detect_stage = std::make_unique<FaultyDetectStage>(
+        std::move(shard->detect_stage), options_.stage_faults);
+    shard->match_stage = std::make_unique<FaultyMatchStage>(
+        std::move(shard->match_stage), options_.stage_faults);
+  }
+  return shard;
+}
+
+IngestPipeline::IngestPipeline(const Options& options) : options_(options) {
+  options_.shards = std::max<size_t>(1, options.shards);
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(MakeShard());
+  }
+  sharded_source_ = std::make_unique<ShardedSource>(&shards_);
+  if (options_.shards > 1) {
     for (auto& shard : shards_) {
       shard->worker = std::thread(&IngestPipeline::WorkerLoop, this,
                                   shard.get());
@@ -144,57 +178,96 @@ size_t IngestPipeline::ShardFor(std::string_view url) const {
 }
 
 const warehouse::DocumentSource* IngestPipeline::document_source() const {
-  if (shards_.size() == 1) return &shards_[0]->warehouse;
   return sharded_source_.get();
 }
 
-void IngestPipeline::ProcessOne(PipelineShard& shard,
-                                const ShardWorkItem& item) const {
-  const DocJob& job = *item.job;
-  DocOutcome& out = *item.outcome;
+uint64_t IngestPipeline::AssignDocid(const DocJob& job) {
+  if (job.deletion) return 0;
+  auto [it, inserted] = docids_.emplace(job.url, next_docid_);
+  if (inserted) ++next_docid_;
+  return it->second;
+}
+
+void IngestPipeline::ProcessOne(PipelineShard& shard, const DocJob& job,
+                                uint64_t docid_hint, Timestamp now,
+                                DocOutcome* outp) const {
+  DocOutcome& out = *outp;
   StageCounters ingest_delta, detect_delta, match_delta, notify_delta;
+
+  // Containment: a stage that throws fails this document, not the process.
+  // With containment off the exception escapes (the seed's behaviour, and
+  // the bench baseline).
+  auto guarded = [&](const char* stage_name, auto&& fn) -> bool {
+    if (!options_.containment) {
+      fn();
+      return true;
+    }
+    try {
+      fn();
+      return true;
+    } catch (const std::exception& e) {
+      out.failed = true;
+      out.failed_stage = stage_name;
+      out.status = Status::Unavailable(std::string(stage_name) +
+                                       " stage failed: " + e.what());
+      return false;
+    } catch (...) {
+      out.failed = true;
+      out.failed_stage = stage_name;
+      out.status = Status::Unavailable(std::string(stage_name) +
+                                       " stage failed: unknown exception");
+      return false;
+    }
+  };
 
   auto t0 = steady::now();
   warehouse::IngestResult ingest;
   bool skip_rest = false;
-  if (job.deletion) {
-    Result<warehouse::IngestResult> deleted =
-        shard.ingest_stage->Delete(job.url, item.now);
-    if (deleted.ok()) {
-      out.processed = true;
-      ingest = std::move(deleted.value());
+  bool ok = guarded("ingest", [&] {
+    if (job.deletion) {
+      Result<warehouse::IngestResult> deleted =
+          shard.ingest_stage->Delete(job.url, now);
+      if (deleted.ok()) {
+        out.processed = true;
+        ingest = std::move(deleted.value());
+      } else {
+        out.status = deleted.status();
+        skip_rest = true;
+      }
     } else {
-      out.status = deleted.status();
-      skip_rest = true;
+      ingest = shard.ingest_stage->Ingest({job.url, job.body}, now,
+                                          docid_hint);
+      out.processed = true;
+      if (ingest.degraded) {
+        out.degraded = true;
+        skip_rest = true;
+      }
     }
-  } else {
-    ingest = shard.ingest_stage->Ingest({job.url, job.body}, item.now,
-                                        item.docid_hint);
-    out.processed = true;
-    if (ingest.degraded) {
-      out.degraded = true;
-      skip_rest = true;
-    }
-  }
+  });
   auto t1 = steady::now();
   ingest_delta = {1, MicrosSince(t0, t1)};
 
   std::optional<mqp::AlertMessage> alert;
-  if (!skip_rest) {
-    alert = shard.detect_stage->Detect(
-        ingest, job.deletion ? std::string_view() : job.body);
+  if (ok && !skip_rest) {
+    ok = guarded("detect", [&] {
+      alert = shard.detect_stage->Detect(
+          ingest, job.deletion ? std::string_view() : job.body);
+    });
     auto t2 = steady::now();
     detect_delta = {1, MicrosSince(t1, t2)};
 
-    if (alert.has_value()) {
+    if (ok && alert.has_value()) {
       out.alert = true;
       std::vector<mqp::MqpNotification> matches;
-      shard.match_stage->Match(*alert, &matches);
+      ok = guarded("match", [&] { shard.match_stage->Match(*alert, &matches); });
       auto t3 = steady::now();
       match_delta = {1, MicrosSince(t2, t3)};
 
-      if (!matches.empty() && resolver_ != nullptr) {
-        resolver_->Resolve(ingest, matches, &out);
+      if (ok && !matches.empty() && resolver_ != nullptr) {
+        ok = guarded("notify",
+                     [&] { resolver_->Resolve(ingest, matches, &out); });
+        // Atomicity: a half-resolved document delivers nothing.
+        if (!ok) out.actions.clear();
         notify_delta = {1, MicrosSince(t3, steady::now())};
       }
     }
@@ -213,30 +286,52 @@ void IngestPipeline::ProcessOne(PipelineShard& shard,
 
 void IngestPipeline::WorkerLoop(PipelineShard* shard) {
   std::deque<ShardWorkItem> batch;
+  bool stopping = false;
   while (true) {
     batch.clear();
     {
       std::unique_lock<std::mutex> lock(shard->mutex);
       shard->cv.wait(lock,
                      [shard] { return shard->stop || !shard->queue.empty(); });
+      stopping = shard->stop;
       if (shard->queue.empty()) return;  // stop requested, nothing queued
       batch.swap(shard->queue);
     }
-    for (const ShardWorkItem& item : batch) {
+    // The swap emptied the queue: wake any scatter blocked on backpressure.
+    shard->cv.notify_all();
+    for (ShardWorkItem& item : batch) {
       if (item.kind == ShardWorkItem::Kind::kCheckpoint) {
         // Queue order makes this a batch boundary: every document scattered
         // before the marker has already been processed. Only this shard's
         // later documents wait for the checkpoint; other shards keep going.
-        item.ticket->Complete(shard->warehouse.CheckpointStorage());
+        item.ticket->Complete(
+            stopping ? Status::Unavailable("shard restarting")
+                     : shard->warehouse.CheckpointStorage());
         continue;
       }
-      ProcessOne(*shard, item);
-      bool drained;
-      {
-        std::lock_guard<std::mutex> lock(shard->mutex);
-        drained = --shard->inflight_docs == 0;
+      BatchState& bs = *item.batch;
+      bool skip = stopping;
+      if (!skip) {
+        std::lock_guard<std::mutex> lock(bs.mutex);
+        skip = bs.abandoned;
       }
-      if (drained) shard->cv.notify_all();
+      DocOutcome out;
+      if (!skip) {
+        ProcessOne(*shard, bs.jobs[item.slot], item.docid_hint, item.now,
+                   &out);
+      }
+      bool batch_done;
+      {
+        std::lock_guard<std::mutex> lock(bs.mutex);
+        if (!bs.abandoned) {
+          bs.outcomes[item.slot] = std::move(out);
+          bs.done[item.slot] = 1;
+        }
+        batch_done = --bs.remaining == 0;
+      }
+      // An abandoned batch's owner is long gone; the notify is harmless
+      // (the BatchState lives as long as any queued item references it).
+      if (batch_done) bs.cv.notify_all();
     }
   }
 }
@@ -244,70 +339,259 @@ void IngestPipeline::WorkerLoop(PipelineShard* shard) {
 void IngestPipeline::ProcessBatch(const std::vector<DocJob>& jobs,
                                   Timestamp now, DeliverySink* sink,
                                   std::vector<DocOutcome>* outcomes_out) {
-  std::vector<DocOutcome> outcomes(jobs.size());
-  ++batches_;
-  documents_ += jobs.size();
-
   if (shards_.size() == 1) {
-    // Inline path: process and deliver per document, on the caller thread —
-    // exactly the monolithic monitor's interleaving (a notification-raised
-    // trigger for document i fires before document i+1 is ingested).
-    PipelineShard& shard = *shards_[0];
-    for (size_t i = 0; i < jobs.size(); ++i) {
-      ShardWorkItem item;
-      item.job = &jobs[i];
-      item.now = now;
-      item.outcome = &outcomes[i];
-      ProcessOne(shard, item);
-      if (sink != nullptr) sink->Deliver(jobs[i], outcomes[i]);
-    }
-    if (outcomes_out != nullptr) *outcomes_out = std::move(outcomes);
+    ProcessBatchInline(jobs, now, sink, outcomes_out);
     return;
   }
+  auto state = std::make_shared<BatchState>();
+  state->jobs = jobs;
+  ProcessBatchSharded(std::move(state), now, sink, outcomes_out);
+}
+
+void IngestPipeline::ProcessBatch(std::vector<DocJob>&& jobs, Timestamp now,
+                                  DeliverySink* sink,
+                                  std::vector<DocOutcome>* outcomes_out) {
+  if (shards_.size() == 1) {
+    ProcessBatchInline(jobs, now, sink, outcomes_out);
+    return;
+  }
+  auto state = std::make_shared<BatchState>();
+  state->jobs = std::move(jobs);
+  ProcessBatchSharded(std::move(state), now, sink, outcomes_out);
+}
+
+void IngestPipeline::ProcessBatchInline(const std::vector<DocJob>& jobs,
+                                        Timestamp now, DeliverySink* sink,
+                                        std::vector<DocOutcome>* outcomes_out) {
+  // Inline path: process and deliver per document, on the caller thread —
+  // exactly the monolithic monitor's interleaving (a notification-raised
+  // trigger for document i fires before document i+1 is ingested).
+  ++batches_;
+  documents_ += jobs.size();
+  PipelineShard& shard = *shards_[0];
+  std::vector<DocOutcome> outcomes(jobs.size());
+
+  // Poison verdicts are fixed at batch start (the scatter path decides them
+  // before any document of the batch is processed — mirror that here so the
+  // decision is identical for every shard count).
+  std::vector<uint8_t> poisoned(jobs.size(), 0);
+  if (options_.containment && !poisoned_.empty()) {
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      poisoned[i] = poisoned_.count(jobs[i].url) != 0;
+    }
+  }
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    uint64_t hint = AssignDocid(jobs[i]);
+    if (poisoned[i]) {
+      ++poison_rejections_;
+      outcomes[i].failed = true;
+      outcomes[i].failed_stage = "poisoned";
+      outcomes[i].status = Status::ResourceExhausted(
+          jobs[i].url + " quarantined after repeated stage failures");
+    } else {
+      ProcessOne(shard, jobs[i], hint, now, &outcomes[i]);
+    }
+    if (sink != nullptr) sink->Deliver(jobs[i], outcomes[i]);
+  }
+  UpdateBatchAccounting(jobs, outcomes);
+  if (outcomes_out != nullptr) *outcomes_out = std::move(outcomes);
+}
+
+void IngestPipeline::ProcessBatchSharded(std::shared_ptr<BatchState> state,
+                                         Timestamp now, DeliverySink* sink,
+                                         std::vector<DocOutcome>* outcomes_out) {
+  const size_t n = state->jobs.size();
+  ++batches_;
+  documents_ += n;
+  state->outcomes.resize(n);
+  state->done.assign(n, 0);
+  state->remaining = n;
+
+  const bool deadline_set =
+      options_.containment && options_.batch_deadline_ms > 0;
+  const steady::time_point deadline =
+      steady::now() + std::chrono::milliseconds(options_.batch_deadline_ms);
+
+  // A slot that never reaches a worker still decrements `remaining` (the
+  // barrier counts every slot exactly once: here or on the worker).
+  auto fail_slot = [&state](size_t i, const char* stage, Status st) {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->outcomes[i].failed = true;
+    state->outcomes[i].failed_stage = stage;
+    state->outcomes[i].status = std::move(st);
+    state->done[i] = 1;
+    --state->remaining;
+  };
 
   // Scatter: pre-assign DOCIDs in submission order (what a 1-shard pipeline
   // would allocate sequentially), then hand each job to the shard owning its
-  // URL.
-  for (size_t i = 0; i < jobs.size(); ++i) {
-    uint64_t hint = 0;
-    if (!jobs[i].deletion) {
-      auto [it, inserted] = docids_.emplace(jobs[i].url, next_docid_);
-      if (inserted) ++next_docid_;
-      hint = it->second;
+  // URL — unless the URL is poisoned or the shard is down.
+  for (size_t i = 0; i < n; ++i) {
+    const DocJob& job = state->jobs[i];
+    uint64_t hint = AssignDocid(job);
+    if (options_.containment && poisoned_.count(job.url) != 0) {
+      ++poison_rejections_;
+      fail_slot(i, "poisoned",
+                Status::ResourceExhausted(
+                    job.url + " quarantined after repeated stage failures"));
+      continue;
     }
-    PipelineShard& shard = *shards_[ShardFor(jobs[i].url)];
+    PipelineShard& shard = *shards_[ShardFor(job.url)];
+    enum class ScatterFail { kNone, kShardDown, kBackpressureTimeout };
+    ScatterFail fail = ScatterFail::kNone;
     {
-      std::lock_guard<std::mutex> lock(shard.mutex);
-      ShardWorkItem item;
-      item.job = &jobs[i];
-      item.docid_hint = hint;
-      item.now = now;
-      item.outcome = &outcomes[i];
-      shard.queue.push_back(std::move(item));
-      ++shard.inflight_docs;
-      shard.queue_high_water =
-          std::max<uint64_t>(shard.queue_high_water, shard.queue.size());
+      std::unique_lock<std::mutex> lock(shard.mutex);
+      if (options_.containment &&
+          shard.health == ShardHealth::kQuarantined) {
+        fail = ScatterFail::kShardDown;
+      } else if (options_.queue_high_water_limit > 0 &&
+                 shard.queue.size() >= options_.queue_high_water_limit) {
+        // Backpressure: block until the worker drains. With a deadline the
+        // wait is bounded; a timeout is a watchdog verdict on the shard.
+        ++shard.backpressure_waits;
+        auto space = [&shard, this] {
+          return shard.queue.size() < options_.queue_high_water_limit;
+        };
+        bool got_space = true;
+        if (deadline_set) {
+          got_space = shard.cv.wait_until(lock, deadline, space);
+        } else {
+          shard.cv.wait(lock, space);
+        }
+        if (!got_space) {
+          shard.health = ShardHealth::kQuarantined;
+          ++shard.deadline_failures;
+          fail = ScatterFail::kBackpressureTimeout;
+        }
+      }
+      if (fail == ScatterFail::kNone) {
+        ShardWorkItem item;
+        item.batch = state;
+        item.slot = i;
+        item.docid_hint = hint;
+        item.now = now;
+        shard.queue.push_back(std::move(item));
+        shard.queue_high_water =
+            std::max<uint64_t>(shard.queue_high_water, shard.queue.size());
+      }
     }
-    shard.cv.notify_one();
+    switch (fail) {
+      case ScatterFail::kNone:
+        shard.cv.notify_one();
+        break;
+      case ScatterFail::kShardDown:
+        fail_slot(i, "shard",
+                  Status::Unavailable("shard " +
+                                      std::to_string(ShardFor(job.url)) +
+                                      " quarantined"));
+        break;
+      case ScatterFail::kBackpressureTimeout:
+        ++deadline_exceeded_;
+        fail_slot(i, "deadline",
+                  Status::DeadlineExceeded(
+                      "batch deadline blown waiting for queue space on shard " +
+                      std::to_string(ShardFor(job.url))));
+        break;
+    }
   }
 
-  // Barrier: wait until every scattered document is processed (checkpoint
-  // markers do not count — a shard mid-checkpoint delays only its own
-  // documents). The lock acquisitions also publish the workers' writes to
-  // `outcomes` to this thread.
-  for (auto& shard : shards_) {
-    std::unique_lock<std::mutex> lock(shard->mutex);
-    shard->cv.wait(lock, [&shard] { return shard->inflight_docs == 0; });
+  // Barrier: wait until every slot is accounted for — or, with a deadline,
+  // until the watchdog gives up. Abandoning the batch under state->mutex
+  // makes late workers discard their results instead of writing into a
+  // vector the gather is about to move out of.
+  std::vector<DocOutcome> outcomes;
+  std::set<size_t> stuck_shards;
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    auto drained = [&state] { return state->remaining == 0; };
+    bool completed = true;
+    if (deadline_set) {
+      completed = state->cv.wait_until(lock, deadline, drained);
+    } else {
+      state->cv.wait(lock, drained);
+    }
+    if (!completed) {
+      state->abandoned = true;
+      for (size_t i = 0; i < n; ++i) {
+        if (state->done[i]) continue;
+        state->outcomes[i].failed = true;
+        state->outcomes[i].failed_stage = "deadline";
+        state->outcomes[i].status =
+            Status::DeadlineExceeded("batch deadline exceeded (" +
+                                     std::to_string(options_.batch_deadline_ms) +
+                                     "ms)");
+        ++deadline_exceeded_;
+        stuck_shards.insert(ShardFor(state->jobs[i].url));
+      }
+    }
+    outcomes = std::move(state->outcomes);
+  }
+  for (size_t idx : stuck_shards) {
+    PipelineShard& shard = *shards_[idx];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.health != ShardHealth::kQuarantined) {
+      shard.health = ShardHealth::kQuarantined;
+      ++shard.deadline_failures;
+    }
   }
 
   // Ordered gather: deliver in submission-slot order, independent of which
   // shard finished first.
   if (sink != nullptr) {
-    for (size_t i = 0; i < jobs.size(); ++i) {
-      sink->Deliver(jobs[i], outcomes[i]);
+    for (size_t i = 0; i < n; ++i) {
+      sink->Deliver(state->jobs[i], outcomes[i]);
     }
   }
+  UpdateBatchAccounting(state->jobs, outcomes);
   if (outcomes_out != nullptr) *outcomes_out = std::move(outcomes);
+}
+
+void IngestPipeline::UpdateBatchAccounting(
+    const std::vector<DocJob>& jobs, const std::vector<DocOutcome>& outcomes) {
+  if (!options_.containment) return;
+  std::vector<uint64_t> failures(shards_.size(), 0);
+  std::vector<uint8_t> touched(shards_.size(), 0);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const DocOutcome& o = outcomes[i];
+    size_t idx = ShardFor(jobs[i].url);
+    touched[idx] = 1;
+    if (o.failed) {
+      ++failed_documents_;
+      // Pipeline-level failures (poison/deadline/shard-down) are not the
+      // document's fault: they neither advance its poison count nor degrade
+      // the shard's health here (the watchdog already quarantined it).
+      if (o.failed_stage == "poisoned" || o.failed_stage == "deadline" ||
+          o.failed_stage == "shard") {
+        continue;
+      }
+      ++failures[idx];
+      if (options_.max_stage_failures_per_url > 0 &&
+          ++fail_counts_[jobs[i].url] >=
+              options_.max_stage_failures_per_url) {
+        poisoned_.insert(jobs[i].url);
+      }
+    } else if (o.processed) {
+      // A clean pass resets the URL's consecutive-failure count.
+      fail_counts_.erase(jobs[i].url);
+    }
+  }
+  for (size_t idx = 0; idx < shards_.size(); ++idx) {
+    if (failures[idx] == 0 && touched[idx] == 0) continue;
+    PipelineShard& shard = *shards_[idx];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (failures[idx] > 0) {
+      shard.stage_failures += failures[idx];
+      shard.last_failure_batch = batches_;
+      if (shard.health == ShardHealth::kHealthy) {
+        shard.health = ShardHealth::kDegraded;
+      }
+    } else if (shard.health == ShardHealth::kDegraded &&
+               batches_ - shard.last_failure_batch >=
+                   options_.health_recovery_batches) {
+      shard.health = ShardHealth::kHealthy;
+    }
+  }
 }
 
 Status IngestPipeline::AttachStorageHub(storage::StorageHub* hub) {
@@ -317,18 +601,20 @@ Status IngestPipeline::AttachStorageHub(storage::StorageHub* hub) {
         " shards but the storage hub opened " +
         std::to_string(hub->partition_count()) + " partitions");
   }
+  hub_ = hub;
   for (size_t i = 0; i < shards_.size(); ++i) {
     XYMON_RETURN_IF_ERROR(
         shards_[i]->warehouse.AttachStore(hub->partition(i)));
   }
-  if (shards_.size() > 1) {
-    // Recovery: rebuild the central URL → DOCID map and re-seed the shared
-    // DTD registry from what each partition persisted.
-    for (auto& shard : shards_) {
-      shard->warehouse.ForEachMeta([this](const warehouse::DocMeta& meta) {
-        docids_[meta.url] = meta.docid;
-        next_docid_ = std::max(next_docid_, meta.docid + 1);
-      });
+  // Recovery: rebuild the central URL → DOCID map (every shard count — ids
+  // are always centrally assigned) and re-seed the shared DTD registry from
+  // what each partition persisted.
+  for (auto& shard : shards_) {
+    shard->warehouse.ForEachMeta([this](const warehouse::DocMeta& meta) {
+      docids_[meta.url] = meta.docid;
+      next_docid_ = std::max(next_docid_, meta.docid + 1);
+    });
+    if (shards_.size() > 1) {
       for (const auto& [dtd_url, id] : shard->warehouse.dtd_ids()) {
         dtd_registry_.Seed(dtd_url, id);
       }
@@ -346,16 +632,140 @@ std::shared_ptr<CheckpointTicket> IngestPipeline::CheckpointWarehousesAsync() {
     return ticket;
   }
   for (auto& shard : shards_) {
+    bool queued = false;
     {
       std::lock_guard<std::mutex> lock(shard->mutex);
-      ShardWorkItem item;
-      item.kind = ShardWorkItem::Kind::kCheckpoint;
-      item.ticket = ticket;
-      shard->queue.push_back(std::move(item));
+      if (shard->health == ShardHealth::kQuarantined) {
+        // A wedged shard would never drain the marker. Its partition is
+        // exactly what the upcoming restart rebuilds from — skip it.
+        ticket->Complete(Status::Unavailable(
+            "shard quarantined; partition checkpoint skipped"));
+      } else {
+        ShardWorkItem item;
+        item.kind = ShardWorkItem::Kind::kCheckpoint;
+        item.ticket = ticket;
+        shard->queue.push_back(std::move(item));
+        queued = true;
+      }
     }
-    shard->cv.notify_one();
+    if (queued) shard->cv.notify_one();
   }
   return ticket;
+}
+
+bool IngestPipeline::has_unhealthy_shards() const {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    if (shard->health == ShardHealth::kQuarantined) return true;
+  }
+  return false;
+}
+
+Status IngestPipeline::RestartShard(size_t index) {
+  if (index >= shards_.size()) {
+    return Status::InvalidArgument("no shard " + std::to_string(index));
+  }
+  PipelineShard& old = *shards_[index];
+  {
+    std::lock_guard<std::mutex> lock(old.mutex);
+    old.health = ShardHealth::kRestarting;
+    old.stop = true;
+  }
+  old.cv.notify_all();
+  // The join bounds the teardown: the worker drains its queue (leftover
+  // checkpoint markers complete with Unavailable, leftover documents belong
+  // to abandoned batches and are skipped) and exits. A stage wedged forever
+  // blocks here — injected stalls are finite; a truly hung thread needs the
+  // multi-process split ROADMAP.md plans (a thread cannot be killed).
+  if (old.worker.joinable()) old.worker.join();
+
+  auto fresh = MakeShard();
+  // Cumulative bookkeeping survives the restart (operators see monotonic
+  // counters); health history rides along, the verdict resets below.
+  fresh->queue_high_water = old.queue_high_water;
+  fresh->backpressure_waits = old.backpressure_waits;
+  fresh->stage_failures = old.stage_failures;
+  fresh->deadline_failures = old.deadline_failures;
+  fresh->last_failure_batch = old.last_failure_batch;
+  fresh->restarts = old.restarts + 1;
+  fresh->ingest_counts = old.ingest_counts;
+  fresh->detect_counts = old.detect_counts;
+  fresh->match_counts = old.match_counts;
+  fresh->notify_counts = old.notify_counts;
+  fresh->health = ShardHealth::kRestarting;
+  // Destroy the old shard before its store is reopened underneath it.
+  shards_[index] = std::move(fresh);
+  PipelineShard& shard = *shards_[index];
+
+  // Rebuild from durable state: reopen the partition from disk and recover
+  // the warehouse from it. The central DOCID map is already a superset of
+  // the partition's contents (the store is write-through), so only the DTD
+  // registry needs re-seeding. Without a hub the shard restarts empty — its
+  // documents re-ingest as new on their next fetch.
+  if (hub_ != nullptr) {
+    XYMON_RETURN_IF_ERROR(hub_->ReopenPartition(index));
+    XYMON_RETURN_IF_ERROR(shard.warehouse.AttachStore(hub_->partition(index)));
+    if (shards_.size() > 1) {
+      for (const auto& [dtd_url, id] : shard.warehouse.dtd_ids()) {
+        dtd_registry_.Seed(dtd_url, id);
+      }
+    }
+  }
+
+  // A rebuilt shard gets a clean poison slate for the URLs it owns.
+  for (auto it = fail_counts_.begin(); it != fail_counts_.end();) {
+    it = ShardFor(it->first) == index ? fail_counts_.erase(it) : std::next(it);
+  }
+  for (auto it = poisoned_.begin(); it != poisoned_.end();) {
+    it = ShardFor(*it) == index ? poisoned_.erase(it) : std::next(it);
+  }
+
+  if (shards_.size() > 1) {
+    shard.worker = std::thread(&IngestPipeline::WorkerLoop, this, &shard);
+  }
+  // Re-register subscriptions on the fresh detection replica. Failing here
+  // leaves the shard quarantined (the caller sees the error and the scatter
+  // keeps routing around it).
+  if (restart_hook_) {
+    Status st = restart_hook_(index);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.health = ShardHealth::kQuarantined;
+      return st;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.health = ShardHealth::kHealthy;
+  }
+  return Status::OK();
+}
+
+Status IngestPipeline::RestartUnhealthyShards(size_t* restarted) {
+  Status first_error;
+  size_t count = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    bool quarantined;
+    {
+      std::lock_guard<std::mutex> lock(shards_[i]->mutex);
+      quarantined = shards_[i]->health == ShardHealth::kQuarantined;
+    }
+    if (!quarantined) continue;
+    Status st = RestartShard(i);
+    if (st.ok()) {
+      ++count;
+    } else if (first_error.ok()) {
+      first_error = st;
+    }
+  }
+  if (restarted != nullptr) *restarted = count;
+  return first_error;
+}
+
+std::vector<std::string> IngestPipeline::poisoned_urls() const {
+  std::vector<std::string> out(poisoned_.begin(), poisoned_.end());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 PipelineStats IngestPipeline::stats() const {
@@ -363,6 +773,10 @@ PipelineStats IngestPipeline::stats() const {
   out.shards = shards_.size();
   out.batches = batches_;
   out.documents = documents_;
+  out.failed_documents = failed_documents_;
+  out.deadline_exceeded = deadline_exceeded_;
+  out.poison_rejections = poison_rejections_;
+  out.poisoned_urls = poisoned_.size();
   auto add = [](StageCounters* into, const StageCounters& from) {
     into->documents += from.documents;
     into->micros += from.micros;
@@ -371,6 +785,12 @@ PipelineStats IngestPipeline::stats() const {
     std::lock_guard<std::mutex> lock(shard->mutex);
     out.queue_high_water =
         std::max(out.queue_high_water, shard->queue_high_water);
+    out.stage_failures += shard->stage_failures;
+    out.backpressure_waits += shard->backpressure_waits;
+    out.shard_restarts += shard->restarts;
+    out.shard_status.push_back(ShardStatus{shard->health, shard->restarts,
+                                           shard->stage_failures,
+                                           shard->deadline_failures});
     add(&out.ingest, shard->ingest_counts);
     add(&out.detect, shard->detect_counts);
     add(&out.match, shard->match_counts);

@@ -1,9 +1,11 @@
 #ifndef XYMON_SYSTEM_PIPELINE_H_
 #define XYMON_SYSTEM_PIPELINE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -11,6 +13,7 @@
 #include <string_view>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/alerters/pipeline.h"
@@ -21,6 +24,8 @@
 #include "src/warehouse/warehouse.h"
 
 namespace xymon::system {
+
+class StageFaultInjector;
 
 // ---------------------------------------------------------------------------
 // The document flow of Figure 3, restructured as an explicit pipeline with
@@ -43,6 +48,13 @@ namespace xymon::system {
 // replayed by the caller in submission order (ordered gather). A one-shard
 // pipeline runs everything inline on the caller thread — bit-for-bit the
 // pre-pipeline monitor.
+//
+// The pipeline is self-healing (DESIGN.md §13): with containment on, a
+// stage that throws fails only its document's DocOutcome, a URL that keeps
+// killing a stage is quarantined (the poison tracker), a batch that runs
+// past its deadline is failed cleanly by the watchdog (the barrier always
+// releases), and a shard marked quarantined can be torn down and rebuilt
+// from its durable StorageHub partition (RestartShard).
 // ---------------------------------------------------------------------------
 
 /// One unit of work entering the pipeline.
@@ -73,6 +85,13 @@ struct DocOutcome {
   bool processed = false;  // false only for a failed deletion
   bool degraded = false;   // malformed body absorbed by the warehouse
   bool alert = false;      // at least one strong atomic event detected
+  /// Containment verdict: a stage threw, the watchdog gave up on the slot,
+  /// the URL was quarantined, or the owning shard was down. `failed_stage`
+  /// says which ("ingest"/"detect"/"match"/"notify" for a contained throw;
+  /// "deadline", "poisoned", "shard" for the pipeline-level failures) and
+  /// `status` carries the detail. Failed outcomes deliver no actions.
+  bool failed = false;
+  std::string failed_stage;
   Status status;           // deletion jobs: NotFound when the URL is unknown
   std::vector<DeliveryAction> actions;
 };
@@ -131,13 +150,35 @@ class DeliverySink {
   virtual void Deliver(const DocJob& job, DocOutcome& outcome) = 0;
 };
 
-// -- Counters ----------------------------------------------------------------
+// -- Counters & health -------------------------------------------------------
 
 struct StageCounters {
   uint64_t documents = 0;  // documents that entered the stage
   uint64_t micros = 0;     // accumulated wall time inside the stage
 
   bool operator==(const StageCounters&) const = default;
+};
+
+/// Per-shard health (DESIGN.md §13):
+///   kHealthy     — normal operation;
+///   kDegraded    — a contained stage failure happened recently; recovers to
+///                  healthy after Options::health_recovery_batches clean
+///                  batches touching the shard;
+///   kQuarantined — the watchdog gave up on the shard (deadline blown or
+///                  backpressure wait timed out); the scatter routes nothing
+///                  to it until it is restarted;
+///   kRestarting  — mid RestartShard (teardown / rebuild-from-storage).
+enum class ShardHealth { kHealthy, kDegraded, kQuarantined, kRestarting };
+
+const char* ShardHealthName(ShardHealth health);
+
+struct ShardStatus {
+  ShardHealth health = ShardHealth::kHealthy;
+  uint64_t restarts = 0;           // completed RestartShard calls
+  uint64_t stage_failures = 0;     // contained stage throws on this shard
+  uint64_t deadline_failures = 0;  // watchdog verdicts against this shard
+
+  bool operator==(const ShardStatus&) const = default;
 };
 
 struct PipelineStats {
@@ -147,6 +188,15 @@ struct PipelineStats {
   /// Deepest shard work queue observed (multi-shard only; the inline
   /// single-shard path has no queue).
   uint64_t queue_high_water = 0;
+  // -- Self-healing counters (all zero with containment off) ----------------
+  uint64_t failed_documents = 0;    // DocOutcome::failed delivered
+  uint64_t stage_failures = 0;      // contained stage throws, all shards
+  uint64_t deadline_exceeded = 0;   // slots failed by the watchdog
+  uint64_t poison_rejections = 0;   // jobs short-circuited at scatter
+  uint64_t poisoned_urls = 0;       // gauge: currently quarantined URLs
+  uint64_t backpressure_waits = 0;  // scatter blocked on a full queue
+  uint64_t shard_restarts = 0;      // sum of ShardStatus::restarts
+  std::vector<ShardStatus> shard_status;
   StageCounters ingest;  // every document
   StageCounters detect;  // non-degraded documents
   StageCounters match;   // documents that raised an alert
@@ -160,12 +210,26 @@ struct PipelineStats {
 /// Completion handle for a parallel warehouse checkpoint: each shard
 /// checkpoints its partition on its own worker thread at a batch boundary,
 /// while the other shards keep processing documents. Wait() blocks until
-/// every shard finished and returns the first error.
+/// every shard finished and returns the first error; WaitFor() gives up
+/// after a timeout (a checkpoint stuck behind a wedged shard reports
+/// DeadlineExceeded instead of blocking the caller forever — the marker
+/// stays queued and a later Wait/WaitFor can still collect it).
 class CheckpointTicket {
  public:
   Status Wait() {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [this] { return remaining_ == 0; });
+    return status_;
+  }
+
+  Status WaitFor(uint64_t timeout_ms) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [this] { return remaining_ == 0; })) {
+      return Status::DeadlineExceeded(
+          "checkpoint still waiting on " + std::to_string(remaining_) +
+          " shard(s) after " + std::to_string(timeout_ms) + "ms");
+    }
     return status_;
   }
 
@@ -184,18 +248,35 @@ class CheckpointTicket {
   Status status_;
 };
 
-/// One work item scattered to a shard: either a document (the job, the slot
-/// it was submitted in for ordered gather, the centrally pre-assigned DOCID
-/// and the batch timestamp) or a checkpoint marker. Markers ride the same
-/// queue, so a shard checkpoints exactly at a batch boundary: after every
-/// document scattered before the marker, before any scattered after it.
+/// Shared state of one in-flight batch. The scatter/gather thread and the
+/// shard workers meet only here (and on the shard queues): jobs are owned by
+/// the batch, outcomes are published under `mutex`, and the barrier waits on
+/// `remaining` hitting zero. When the watchdog abandons a batch (`abandoned`
+/// set under `mutex`), a still-running worker keeps a valid BatchState via
+/// its shared_ptr and discards its result on publication — nothing dangles
+/// even though ProcessBatch already returned.
+struct BatchState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<DocJob> jobs;          // immutable once scattered
+  std::vector<DocOutcome> outcomes;  // slot-indexed, published under mutex
+  std::vector<uint8_t> done;         // slot-indexed completion flags
+  size_t remaining = 0;              // slots not yet accounted for
+  bool abandoned = false;            // watchdog gave up; discard late results
+};
+
+/// One work item scattered to a shard: either a document (its batch + slot,
+/// the centrally pre-assigned DOCID and the batch timestamp) or a
+/// checkpoint marker. Markers ride the same queue, so a shard checkpoints
+/// exactly at a batch boundary: after every document scattered before the
+/// marker, before any scattered after it.
 struct ShardWorkItem {
   enum class Kind { kDocument, kCheckpoint };
   Kind kind = Kind::kDocument;
-  const DocJob* job = nullptr;
+  std::shared_ptr<BatchState> batch;
+  size_t slot = 0;
   uint64_t docid_hint = 0;
   Timestamp now = 0;
-  DocOutcome* outcome = nullptr;
   /// kCheckpoint: completion handle shared by every shard's marker.
   std::shared_ptr<CheckpointTicket> ticket;
 };
@@ -216,22 +297,31 @@ struct PipelineShard {
   alerters::AlertPipeline alert_pipeline;
   mqp::MonitoringQueryProcessor mqp;
 
-  // Stage seams (default adapters over the components above).
+  // Stage seams (default adapters over the components above; wrapped by the
+  // FaultyStage decorators when fault injection is configured).
   std::unique_ptr<IngestStage> ingest_stage;
   std::unique_ptr<DetectStage> detect_stage;
   std::unique_ptr<MatchStage> match_stage;
 
   // Worker machinery (idle in a one-shard pipeline). `mutex` guards the
-  // queue, flags and counters. The batch barrier waits on `inflight_docs`
-  // (documents scattered but not yet fully processed) rather than queue
-  // emptiness, so a checkpoint marker draining slowly on one shard never
-  // blocks the other shards' batches.
+  // queue, flags, health and counters. The batch barrier waits on the
+  // BatchState, not on queue emptiness, so a checkpoint marker draining
+  // slowly on one shard never blocks the other shards' batches.
   std::thread worker;
   mutable std::mutex mutex;
   std::condition_variable cv;
   std::deque<ShardWorkItem> queue;
   bool stop = false;
-  size_t inflight_docs = 0;
+
+  // Health (guarded by `mutex`; transitions documented on ShardHealth).
+  ShardHealth health = ShardHealth::kHealthy;
+  uint64_t restarts = 0;
+  uint64_t stage_failures = 0;
+  uint64_t deadline_failures = 0;
+  uint64_t backpressure_waits = 0;
+  /// Batch sequence number of the last contained failure (degraded→healthy
+  /// recovery is measured from here).
+  uint64_t last_failure_batch = 0;
 
   // Stage counters (guarded by `mutex`).
   uint64_t queue_high_water = 0;
@@ -258,6 +348,36 @@ class IngestPipeline {
     uint32_t max_parse_failures_per_url = 3;
     /// Domain classifier shared by every shard (owner outlives pipeline).
     const warehouse::DomainClassifier* classifier = nullptr;
+
+    // -- Self-healing (DESIGN.md §13) ---------------------------------------
+
+    /// Wrap every stage call in containment: a throw fails the DocOutcome
+    /// instead of the process, the poison tracker and health accounting
+    /// run. Off restores the seed's die-on-throw behaviour (the bench
+    /// baseline for the containment-overhead comparison).
+    bool containment = true;
+    /// Batch deadline in milliseconds (0 = none; multi-shard only — the
+    /// inline path has no worker to outwait). A batch whose barrier has not
+    /// released by then is failed by the watchdog: unprocessed slots get
+    /// DeadlineExceeded outcomes and the stuck shards are quarantined.
+    uint32_t batch_deadline_ms = 0;
+    /// Consecutive contained stage failures a URL may cause before it is
+    /// quarantined by the poison tracker (0 = never). A successful pass
+    /// through the pipeline resets the URL's count; restarting the owning
+    /// shard clears its verdict.
+    uint32_t max_stage_failures_per_url = 3;
+    /// Shard work-queue high-water mark (0 = unbounded). At the limit the
+    /// scatter blocks until the worker drains (counted in
+    /// backpressure_waits); with a batch deadline set, the wait is bounded
+    /// by it and a timeout quarantines the shard.
+    size_t queue_high_water_limit = 0;
+    /// Clean batches touching a degraded shard before it recovers to
+    /// healthy.
+    uint64_t health_recovery_batches = 3;
+    /// Stage fault injection (tests/benches; owner outlives the pipeline).
+    /// Each shard's stages are wrapped in FaultyStage decorators sharing
+    /// this injector.
+    StageFaultInjector* stage_faults = nullptr;
   };
 
   explicit IngestPipeline(const Options& options);
@@ -268,6 +388,15 @@ class IngestPipeline {
 
   /// Stage-4a hook; install before the first batch.
   void set_resolver(const NotifyResolver* resolver) { resolver_ = resolver; }
+
+  /// Called at the end of RestartShard with the shard index, after the
+  /// replacement shard is attached to storage and its worker is running —
+  /// the owner re-registers subscriptions on the fresh detection replica
+  /// (SubscriptionManager::RebindReplica). A non-ok return fails the
+  /// restart (the shard stays quarantined).
+  void set_restart_hook(std::function<Status(size_t)> hook) {
+    restart_hook_ = std::move(hook);
+  }
 
   size_t shard_count() const { return shards_.size(); }
   PipelineShard& shard(size_t i) { return *shards_[i]; }
@@ -283,16 +412,22 @@ class IngestPipeline {
   }
 
   /// Aggregated read view over every shard (continuous queries range over
-  /// it). One shard: the shard's warehouse itself — identical iteration
-  /// order to the pre-pipeline monitor. Several: merged, DOCID-ordered.
+  /// it). One shard: a passthrough to the shard's warehouse — identical
+  /// iteration order to the pre-pipeline monitor. Several: merged,
+  /// DOCID-ordered. The pointer is stable across RestartShard.
   const warehouse::DocumentSource* document_source() const;
 
   /// Runs one batch through stages 1–4: scatter by hash(url), process on
   /// the owning shards, gather + deliver to `sink` in submission order.
-  /// Blocks until every outcome is delivered. `outcomes_out`, if non-null,
-  /// receives the per-slot outcomes (delivery may have consumed payload
-  /// strings; `status` and the flags are intact).
+  /// Blocks until every outcome is delivered (or, with a batch deadline
+  /// configured, until the watchdog fails the stragglers). `outcomes_out`,
+  /// if non-null, receives the per-slot outcomes (delivery may have
+  /// consumed payload strings; `status` and the flags are intact). The
+  /// rvalue overload avoids copying the jobs into the batch state.
   void ProcessBatch(const std::vector<DocJob>& jobs, Timestamp now,
+                    DeliverySink* sink,
+                    std::vector<DocOutcome>* outcomes_out = nullptr);
+  void ProcessBatch(std::vector<DocJob>&& jobs, Timestamp now,
                     DeliverySink* sink,
                     std::vector<DocOutcome>* outcomes_out = nullptr);
 
@@ -300,18 +435,45 @@ class IngestPipeline {
   /// i (the hub has already opened — and, if the shard count changed,
   /// resharded — every partition). Recovery rebuilds the central DOCID map
   /// and the shared DTD registry from the recovered partitions. The hub's
-  /// partition count must equal the shard count.
+  /// partition count must equal the shard count. The pipeline keeps the
+  /// hub pointer for RestartShard's rebuild-from-storage.
   Status AttachStorageHub(storage::StorageHub* hub);
 
   /// Starts a parallel, non-quiescing checkpoint: a marker is queued on
   /// every shard and each partition checkpoints on its own worker thread at
   /// a batch boundary. Returns immediately; Wait() on the ticket for
   /// completion. Inline (1-shard) pipelines checkpoint on the caller
-  /// thread and return an already-completed ticket.
+  /// thread and return an already-completed ticket. A quarantined shard's
+  /// marker completes immediately with Unavailable (its partition is what
+  /// the upcoming restart rebuilds from).
   std::shared_ptr<CheckpointTicket> CheckpointWarehousesAsync();
 
   /// Synchronous convenience over CheckpointWarehousesAsync().
   Status CheckpointWarehouses() { return CheckpointWarehousesAsync()->Wait(); }
+
+  // -- Self-healing (DESIGN.md §13) -----------------------------------------
+
+  /// True if any shard is quarantined (watchdog verdict or restart failure).
+  bool has_unhealthy_shards() const;
+
+  /// Tears down shard `index` (stop + join its worker; leftover checkpoint
+  /// markers complete with Unavailable) and rebuilds it from durable state:
+  /// a fresh PipelineShard, its warehouse re-attached to the re-opened
+  /// StorageHub partition, cumulative counters carried over, the poison
+  /// verdicts for its URLs cleared, and the restart hook invoked so the
+  /// owner re-registers subscriptions. Caller must hold the same
+  /// serialization as ProcessBatch (no batch may be in flight). Without an
+  /// attached hub the shard restarts empty — its documents re-ingest as
+  /// new on their next fetch.
+  Status RestartShard(size_t index);
+
+  /// RestartShard for every quarantined shard; first error wins (remaining
+  /// shards are still attempted). `restarted`, if non-null, receives the
+  /// number of successful restarts.
+  Status RestartUnhealthyShards(size_t* restarted = nullptr);
+
+  /// URLs currently quarantined by the poison tracker, sorted.
+  std::vector<std::string> poisoned_urls() const;
 
   PipelineStats stats() const;
   uint64_t total_document_count() const;
@@ -319,23 +481,51 @@ class IngestPipeline {
  private:
   class ShardedSource;
 
+  std::unique_ptr<PipelineShard> MakeShard();
   void WorkerLoop(PipelineShard* shard);
-  void ProcessOne(PipelineShard& shard, const ShardWorkItem& item) const;
+  void ProcessOne(PipelineShard& shard, const DocJob& job, uint64_t docid_hint,
+                  Timestamp now, DocOutcome* out) const;
+  void ProcessBatchInline(const std::vector<DocJob>& jobs, Timestamp now,
+                          DeliverySink* sink,
+                          std::vector<DocOutcome>* outcomes_out);
+  void ProcessBatchSharded(std::shared_ptr<BatchState> state, Timestamp now,
+                           DeliverySink* sink,
+                           std::vector<DocOutcome>* outcomes_out);
+  /// DOCIDs are assigned centrally in submission order for every shard
+  /// count (deletions get 0), so ids — and everything derived from them —
+  /// are identical at 1 and N shards, and a contained ingest failure cannot
+  /// shift the ids of later documents (the slot's id stays reserved for the
+  /// URL's retry).
+  uint64_t AssignDocid(const DocJob& job);
+  /// Post-batch, on the gather thread, in submission order: poison-tracker
+  /// updates and shard health transitions derived from the outcomes —
+  /// deterministic across shard counts.
+  void UpdateBatchAccounting(const std::vector<DocJob>& jobs,
+                             const std::vector<DocOutcome>& outcomes);
 
+  Options options_;
   const NotifyResolver* resolver_ = nullptr;
+  std::function<Status(size_t)> restart_hook_;
+  storage::StorageHub* hub_ = nullptr;
   warehouse::DtdRegistry dtd_registry_;
   std::vector<std::unique_ptr<PipelineShard>> shards_;
-  std::unique_ptr<ShardedSource> sharded_source_;  // shards > 1 only
+  std::unique_ptr<ShardedSource> sharded_source_;
 
-  // Central DOCID allocation (multi-shard only): ids are assigned in scatter
-  // order, which is exactly the order a 1-shard pipeline ingests in, so
-  // DOCIDs are identical for every shard count. A 1-shard pipeline lets the
-  // warehouse allocate (bit-for-bit the historical counter).
+  /// Central DOCID allocation (see AssignDocid).
   std::unordered_map<std::string, uint64_t> docids_;
   uint64_t next_docid_ = 1;
 
+  // Poison tracker (gather thread only): consecutive contained failures per
+  // URL, and the URLs past the cap.
+  std::unordered_map<std::string, uint32_t> fail_counts_;
+  std::unordered_set<std::string> poisoned_;
+
+  // Gather-thread counters.
   uint64_t batches_ = 0;
   uint64_t documents_ = 0;
+  uint64_t failed_documents_ = 0;
+  uint64_t deadline_exceeded_ = 0;
+  uint64_t poison_rejections_ = 0;
 };
 
 }  // namespace xymon::system

@@ -15,6 +15,7 @@
 #include "src/reporter/outbox.h"
 #include "src/storage/persistent_map.h"
 #include "src/system/monitor.h"
+#include "src/system/stage_faults.h"
 #include "src/webstub/crawler.h"
 #include "src/webstub/synthetic_web.h"
 #include "src/xml/parser.h"
@@ -276,30 +277,40 @@ struct SoakResult {
   uint64_t dropped = 0;
   size_t quarantined_at_end = 0;
   size_t missing_at_end = 0;
+  // Self-healing observations (DESIGN.md §13): did any shard ever leave
+  // healthy, did it come back, and the final warehoused state per URL
+  // ("docid:signature:status", or "absent") for fault-free comparison.
+  bool saw_degraded = false;
+  bool healthy_at_end = true;
+  std::map<std::string, std::string> final_meta;
 
   bool operator==(const SoakResult&) const = default;
 };
 
-SoakResult RunUnreliableWebSoak(int ticks) {
+SoakResult RunUnreliableWebSoak(int ticks,
+                                system::StageFaultInjector* faults = nullptr) {
   webstub::SyntheticWeb web(2026);
+  std::vector<std::string> population;
   for (int i = 0; i < 8; ++i) {
-    web.AddCatalogPage("http://cat.example.org/c" + std::to_string(i) +
-                           ".xml",
-                       "http://cat.example.org/c.dtd", 6,
+    population.push_back("http://cat.example.org/c" + std::to_string(i) +
+                         ".xml");
+    web.AddCatalogPage(population.back(), "http://cat.example.org/c.dtd", 6,
                        /*change_rate=*/0.4);
   }
   for (int i = 0; i < 6; ++i) {
-    web.AddNewsPage("http://news.example.org/n" + std::to_string(i) + ".xml",
-                    {"camera"}, /*change_rate=*/0.6);
+    population.push_back("http://news.example.org/n" + std::to_string(i) +
+                         ".xml");
+    web.AddNewsPage(population.back(), {"camera"}, /*change_rate=*/0.6);
   }
   for (int i = 0; i < 4; ++i) {
-    web.AddMembersPage("http://members.example.org/m" + std::to_string(i) +
-                           ".xml",
-                       3, /*change_rate=*/0.3);
+    population.push_back("http://members.example.org/m" + std::to_string(i) +
+                         ".xml");
+    web.AddMembersPage(population.back(), 3, /*change_rate=*/0.3);
   }
   for (int i = 0; i < 6; ++i) {
-    web.AddHtmlPage("http://html.example.org/p" + std::to_string(i) + ".html",
-                    {"xyleme"}, /*change_rate=*/0.4);
+    population.push_back("http://html.example.org/p" + std::to_string(i) +
+                         ".html");
+    web.AddHtmlPage(population.back(), {"xyleme"}, /*change_rate=*/0.4);
   }
 
   webstub::FaultPlan plan;
@@ -314,7 +325,13 @@ SoakResult RunUnreliableWebSoak(int ticks) {
   EXPECT_GE(web.fault_prone_count() * 5, web.page_count());
 
   SimClock clock(0);
-  system::XylemeMonitor monitor(&clock);
+  system::XylemeMonitor::Options options;
+  options.stage_faults = faults;
+  // Stretch the heal window past a single tick's worth of batches so the
+  // per-tick health poll below reliably observes the degraded state (a
+  // fault-free run never leaves healthy, so this is inert without faults).
+  options.health_recovery_batches = 10;
+  system::XylemeMonitor monitor(&clock, options);
   EXPECT_TRUE(monitor
                   .Subscribe(R"(
 subscription Cat
@@ -391,9 +408,30 @@ report when immediate
     EXPECT_GE(monitor.stats().documents_processed, prev_docs);
     prev_docs = monitor.stats().documents_processed;
 
+    // Shard health: remember whether containment ever degraded a shard —
+    // and at the end, whether the recovery window healed it again.
+    system::PipelineStats ps = monitor.pipeline_stats();
+    out.healthy_at_end = true;
+    for (const system::ShardStatus& shard : ps.shard_status) {
+      if (shard.health != system::ShardHealth::kHealthy) {
+        out.saw_degraded = true;
+        out.healthy_at_end = false;
+      }
+    }
+
     clock.Advance(10 * kMinute);
   }
 
+  for (const std::string& url : population) {
+    const warehouse::DocMeta* meta =
+        monitor.pipeline().WarehouseFor(url).GetMeta(url);
+    out.final_meta[url] =
+        meta == nullptr
+            ? "absent"
+            : std::to_string(meta->docid) + ":" +
+                  std::to_string(meta->signature) + ":" +
+                  warehouse::DocStatusName(meta->status);
+  }
   out.stats = monitor.stats();
   out.crawler = crawler.stats();
   out.sent = monitor.outbox().sent_count();
@@ -440,6 +478,44 @@ TEST(UnreliableWebSoakTest, SoakIsDeterministic) {
   SoakResult b = RunUnreliableWebSoak(2'000);
   EXPECT_EQ(a.events, b.events);
   EXPECT_TRUE(a == b);
+}
+
+TEST(UnreliableWebSoakTest, StageFaultsMidSoakHealAndMatchFaultFreeReplay) {
+  // Arm stage faults on two frequently-fetched pages mid-soak, on top of
+  // the web-level fault plan. Containment must absorb them (health degrades
+  // and recovers), the run must stay deterministic, and every *unaffected*
+  // page's final warehoused state must be identical to a fault-free replay.
+  const std::string cat = "http://cat.example.org/c0.xml";
+  const std::string news = "http://news.example.org/n1.xml";
+  system::StageFaultPlan plan{{
+      {system::StageKind::kDetect, cat, 50, system::StageFaultKind::kThrow},
+      {system::StageKind::kIngest, cat, 120, system::StageFaultKind::kThrow},
+      {system::StageKind::kDetect, news, 40, system::StageFaultKind::kThrow},
+  }};
+  system::StageFaultInjector faults(plan);
+  SoakResult faulted = RunUnreliableWebSoak(2'000, &faults);
+
+  EXPECT_EQ(faults.faults_fired(), 3u);
+  EXPECT_EQ(faulted.stats.failed_documents, 3u);
+  EXPECT_TRUE(faulted.saw_degraded);
+  EXPECT_TRUE(faulted.healthy_at_end);
+
+  // Determinism holds under stage faults too.
+  system::StageFaultInjector faults_again(plan);
+  SoakResult again = RunUnreliableWebSoak(2'000, &faults_again);
+  EXPECT_TRUE(faulted == again);
+
+  // Fault-free replay: identical final state for the rest of the web.
+  SoakResult clean = RunUnreliableWebSoak(2'000);
+  EXPECT_FALSE(clean.saw_degraded);
+  EXPECT_EQ(clean.stats.failed_documents, 0u);
+  auto without_faulted = [&](std::map<std::string, std::string> meta) {
+    meta.erase(cat);
+    meta.erase(news);
+    return meta;
+  };
+  EXPECT_EQ(without_faulted(faulted.final_meta),
+            without_faulted(clean.final_meta));
 }
 
 TEST(UnreliableWebSoakTest, ProcessCrawlMirrorsCrawlerHealth) {

@@ -1,0 +1,83 @@
+#ifndef XYMON_TESTS_GATE_ENV_H_
+#define XYMON_TESTS_GATE_ENV_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/storage/env.h"
+
+namespace xymon::testing {
+
+/// MemEnv wrapper that parks the caller inside NewWritableFile for one
+/// specific path until released — holding one shard's checkpoint open
+/// mid-I/O while the test drives batches (or a WaitFor deadline) through
+/// the rest of the system.
+class GateEnv : public storage::Env {
+ public:
+  Result<std::unique_ptr<storage::WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (path == gate_path_) {
+        entered_ = true;
+        cv_.notify_all();
+        cv_.wait(lock, [this] { return released_; });
+      }
+    }
+    return base_.NewWritableFile(path, truncate);
+  }
+  Result<std::unique_ptr<storage::SequentialFile>> NewSequentialFile(
+      const std::string& path) override {
+    return base_.NewSequentialFile(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_.FileExists(path);
+  }
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    return base_.GetFileSize(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return base_.RenameFile(from, to);
+  }
+  Status DeleteFile(const std::string& path) override {
+    return base_.DeleteFile(path);
+  }
+  Status SyncDir(const std::string& dir) override {
+    return base_.SyncDir(dir);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return base_.ListDir(dir);
+  }
+
+  void ArmGate(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    gate_path_ = path;
+    entered_ = false;
+    released_ = false;
+  }
+  void WaitUntilEntered() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return entered_; });
+  }
+  void ReleaseGate() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    released_ = true;
+    gate_path_.clear();
+    cv_.notify_all();
+  }
+
+ private:
+  storage::MemEnv base_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::string gate_path_;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+}  // namespace xymon::testing
+
+#endif  // XYMON_TESTS_GATE_ENV_H_

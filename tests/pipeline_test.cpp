@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "gate_env.h"
 #include "src/storage/env.h"
 #include "src/system/monitor.h"
 #include "src/webstub/crawler.h"
@@ -305,71 +306,7 @@ TEST(PipelineConcurrencyTest, SubscribeUnsubscribeDuringBatchesIsQuiesced) {
   }
 }
 
-/// MemEnv wrapper that parks the caller inside NewWritableFile for one
-/// specific path until released — holding one shard's checkpoint open
-/// mid-I/O while the test drives batches through the other shards.
-class GateEnv : public storage::Env {
- public:
-  Result<std::unique_ptr<storage::WritableFile>> NewWritableFile(
-      const std::string& path, bool truncate) override {
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (path == gate_path_) {
-        entered_ = true;
-        cv_.notify_all();
-        cv_.wait(lock, [this] { return released_; });
-      }
-    }
-    return base_.NewWritableFile(path, truncate);
-  }
-  Result<std::unique_ptr<storage::SequentialFile>> NewSequentialFile(
-      const std::string& path) override {
-    return base_.NewSequentialFile(path);
-  }
-  bool FileExists(const std::string& path) override {
-    return base_.FileExists(path);
-  }
-  Result<uint64_t> GetFileSize(const std::string& path) override {
-    return base_.GetFileSize(path);
-  }
-  Status RenameFile(const std::string& from, const std::string& to) override {
-    return base_.RenameFile(from, to);
-  }
-  Status DeleteFile(const std::string& path) override {
-    return base_.DeleteFile(path);
-  }
-  Status SyncDir(const std::string& dir) override {
-    return base_.SyncDir(dir);
-  }
-  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
-    return base_.ListDir(dir);
-  }
-
-  void ArmGate(const std::string& path) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    gate_path_ = path;
-    entered_ = false;
-    released_ = false;
-  }
-  void WaitUntilEntered() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return entered_; });
-  }
-  void ReleaseGate() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    released_ = true;
-    gate_path_.clear();
-    cv_.notify_all();
-  }
-
- private:
-  storage::MemEnv base_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::string gate_path_;
-  bool entered_ = false;
-  bool released_ = false;
-};
+using xymon::testing::GateEnv;
 
 // The no-quiesce acceptance criterion: with 4 shards, one partition's
 // checkpoint is held open mid-I/O while a batch touching only the other

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "crash_sweep.h"
+#include "gate_env.h"
 #include "src/common/hash.h"
 #include "src/storage/env.h"
 #include "src/storage/storage_hub.h"
@@ -484,6 +485,35 @@ TEST(MonitorReshardTest, CrashDuringMonitorReshardRecovers) {
     }
     EXPECT_TRUE(subs.count("Sub0"));
   }
+}
+
+// A checkpoint stuck mid-I/O on one shard must not wedge a caller that asked
+// for a bounded wait: WaitFor reports DeadlineExceeded while the marker stays
+// queued, and a later Wait still collects the checkpoint once it completes.
+TEST(MonitorReshardTest, CheckpointTicketWaitForBoundsTheWait) {
+  GateEnv env;
+  SimClock clock(1000);
+  auto options = SweepOptions(kDir, &env);
+  options.num_shards = 4;
+  auto monitor = system::XylemeMonitor::Open(&clock, options);
+  ASSERT_TRUE(monitor.ok()) << monitor.status().message();
+  for (int j = 0; j < 12; ++j) {
+    (*monitor)->ProcessFetch(SweepUrl(j), SweepBody(j, 1));
+  }
+
+  // Park shard 0's partition checkpoint inside its first temp-file write.
+  env.ArmGate(std::string(kDir) + "/wh.ckpt.tmp");
+  auto ticket = (*monitor)->pipeline().CheckpointWarehousesAsync();
+  env.WaitUntilEntered();
+
+  Status bounded = ticket->WaitFor(/*timeout_ms=*/50);
+  EXPECT_TRUE(bounded.IsDeadlineExceeded()) << bounded.ToString();
+
+  env.ReleaseGate();
+  EXPECT_TRUE(ticket->Wait().ok());
+  // The bounded wait gave up without consuming the completion: a second
+  // bounded wait on the now-finished ticket succeeds immediately.
+  EXPECT_TRUE(ticket->WaitFor(/*timeout_ms=*/1).ok());
 }
 
 }  // namespace
