@@ -19,6 +19,13 @@
 // containment on (stage guards + per-batch health accounting, the default)
 // vs off — the overhead budget is <= 2%:
 //   bench_pipeline [... [BENCH_faults.json]]
+//
+// The IPC section (fifth) measures the clean-path cost of running the
+// shards as supervised worker *processes* (DESIGN.md §14) — the same flow
+// at shard_mode = process with 1/2/4 workers vs the inline 1-shard
+// baseline, i.e. what frame encode + socketpair hop + decode costs per
+// document when nothing crashes:
+//   bench_pipeline [... [... [BENCH_ipc.json]]]
 
 #include <algorithm>
 #include <atomic>
@@ -80,9 +87,12 @@ struct ShardPoint {
 /// Batched document flow through the sharded pipeline: same synthetic web
 /// and subscription mix, documents pushed per-round with ProcessFetchBatch.
 /// `containment` toggles the DESIGN.md §13 stage guards for the fault
-/// section's on/off comparison.
+/// section's on/off comparison; `mode` selects the execution substrate
+/// (worker threads vs supervised worker processes) for the IPC section.
 ShardPoint RunShardSweep(size_t shards, int subs, bool containment = true,
-                         int rounds = 4) {
+                         int rounds = 4,
+                         xymon::system::ShardMode mode =
+                             xymon::system::ShardMode::kThread) {
   SyntheticWeb web(55);
   std::vector<std::string> urls;
   for (int s = 0; s < 100; ++s) {
@@ -97,7 +107,14 @@ ShardPoint RunShardSweep(size_t shards, int subs, bool containment = true,
   XylemeMonitor::Options options;
   options.num_shards = shards;
   options.fault_containment = containment;
+  options.shard_mode = mode;
+  options.worker_binary = XYMON_WORKER_BIN_PATH;
   XylemeMonitor monitor(&clock, options);
+  if (!monitor.pipeline().worker_status().ok()) {
+    fprintf(stderr, "worker spawn failed: %s\n",
+            monitor.pipeline().worker_status().ToString().c_str());
+    return ShardPoint{};
+  }
   Rng rng(9);
   for (int i = 0; i < subs; ++i) {
     (void)monitor.Subscribe(MakeSubscription(i, &rng), "u@x");
@@ -449,6 +466,60 @@ int main(int argc, char** argv) {
     fprintf(f, "  ]\n}\n");
     fclose(f);
     printf("\nwrote %s\n", argv[3]);
+  }
+
+  PrintHeader(
+      "Worker processes: clean-path IPC overhead of shard_mode = process\n"
+      "(DESIGN.md §14 — frame encode + socketpair hop + decode per slot)");
+  struct IpcPoint {
+    const char* mode;
+    size_t workers;
+    ShardPoint point;
+  };
+  std::vector<IpcPoint> ipc_points;
+  printf("%18s %14s %14s %12s\n", "substrate", "us/doc", "docs/sec",
+         "vs inline");
+  ipc_points.push_back({"inline", 1, RunShardSweep(1, /*subs=*/2000)});
+  for (size_t workers : {1u, 2u, 4u}) {
+    ipc_points.push_back(
+        {"process", workers,
+         RunShardSweep(workers, /*subs=*/2000, /*containment=*/true,
+                       /*rounds=*/4, xymon::system::ShardMode::kProcess)});
+  }
+  const double inline_us = ipc_points[0].point.us_per_doc;
+  for (const IpcPoint& p : ipc_points) {
+    if (p.point.us_per_doc == 0) continue;  // spawn failed: row skipped
+    printf("%11s x%-5zu %14.1f %14.0f %11.2fx\n", p.mode, p.workers,
+           p.point.us_per_doc, p.point.docs_per_sec,
+           p.point.us_per_doc / inline_us);
+  }
+  printf(
+      "\nthe wire hop prices each document at one frame round-trip; past\n"
+      "one worker the partitions process in parallel, buying the overhead\n"
+      "back — the cost of kill-and-restart containment is this table.\n");
+
+  if (argc > 4) {
+    FILE* f = fopen(argv[4], "w");
+    if (f == nullptr) {
+      fprintf(stderr, "cannot write %s\n", argv[4]);
+      return 1;
+    }
+    fprintf(f, "{\n  \"bench\": \"pipeline_worker_process_overhead\",\n");
+    fprintf(f, "  \"host_cores\": %u,\n", cores);
+    fprintf(f, "  \"subscriptions\": 2000,\n  \"points\": [\n");
+    for (size_t i = 0; i < ipc_points.size(); ++i) {
+      const IpcPoint& p = ipc_points[i];
+      fprintf(f,
+              "    {\"mode\": \"%s\", \"workers\": %zu, "
+              "\"us_per_doc\": %.1f, \"docs_per_sec\": %.0f, "
+              "\"vs_inline\": %.2f}%s\n",
+              p.mode, p.workers, p.point.us_per_doc, p.point.docs_per_sec,
+              p.point.us_per_doc / inline_us,
+              i + 1 < ipc_points.size() ? "," : "");
+    }
+    fprintf(f, "  ]\n}\n");
+    fclose(f);
+    printf("\nwrote %s\n", argv[4]);
   }
   return 0;
 }

@@ -1,0 +1,721 @@
+#include "src/ipc/wire.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <mutex>
+
+#include "src/storage/log_store.h"
+
+namespace xymon::ipc {
+
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+uint32_t ElapsedMs(steady::time_point start) {
+  return static_cast<uint32_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(steady::now() -
+                                                            start)
+          .count());
+}
+
+void PutU32(std::string* buf, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xFF);
+  b[1] = static_cast<char>((v >> 8) & 0xFF);
+  b[2] = static_cast<char>((v >> 16) & 0xFF);
+  b[3] = static_cast<char>((v >> 24) & 0xFF);
+  buf->append(b, 4);
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+Status CorruptMsg(const char* what) {
+  return Status::Corruption(std::string("wire: malformed ") + what);
+}
+
+}  // namespace
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "Hello";
+    case MsgType::kHelloAck: return "HelloAck";
+    case MsgType::kOpenPartition: return "OpenPartition";
+    case MsgType::kSubscribe: return "Subscribe";
+    case MsgType::kUnsubscribe: return "Unsubscribe";
+    case MsgType::kDomainRule: return "DomainRule";
+    case MsgType::kCmdAck: return "CmdAck";
+    case MsgType::kSlot: return "Slot";
+    case MsgType::kSlotResult: return "SlotResult";
+    case MsgType::kCheckpoint: return "Checkpoint";
+    case MsgType::kCheckpointDone: return "CheckpointDone";
+    case MsgType::kPing: return "Ping";
+    case MsgType::kPong: return "Pong";
+    case MsgType::kQueryDomain: return "QueryDomain";
+    case MsgType::kDomainDocs: return "DomainDocs";
+    case MsgType::kDtdIdReq: return "DtdIdReq";
+    case MsgType::kDtdIdResp: return "DtdIdResp";
+    case MsgType::kShutdown: return "Shutdown";
+  }
+  return "unknown";
+}
+
+// -- WireWriter / WireReader -------------------------------------------------
+
+void WireWriter::U32(uint32_t v) { PutU32(&buf_, v); }
+
+void WireWriter::U64(uint64_t v) {
+  U32(static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  U32(static_cast<uint32_t>(v >> 32));
+}
+
+void WireWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+bool WireReader::U8(uint8_t* out) {
+  if (!ok_ || data_.size() - pos_ < 1) return ok_ = false;
+  *out = static_cast<uint8_t>(data_[pos_++]);
+  return true;
+}
+
+bool WireReader::U32(uint32_t* out) {
+  if (!ok_ || data_.size() - pos_ < 4) return ok_ = false;
+  *out = GetU32(data_.data() + pos_);
+  pos_ += 4;
+  return true;
+}
+
+bool WireReader::U64(uint64_t* out) {
+  uint32_t lo = 0, hi = 0;
+  if (!U32(&lo) || !U32(&hi)) return false;
+  *out = static_cast<uint64_t>(lo) | static_cast<uint64_t>(hi) << 32;
+  return true;
+}
+
+bool WireReader::I64(int64_t* out) {
+  uint64_t v = 0;
+  if (!U64(&v)) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool WireReader::Str(std::string* out) {
+  uint32_t len = 0;
+  if (!U32(&len)) return false;
+  // The length is validated against the bytes actually present before any
+  // allocation — a bit-flipped length cannot drive an oversized reserve.
+  if (data_.size() - pos_ < len) return ok_ = false;
+  out->assign(data_.data() + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+Status DecodeStatus(uint8_t code, std::string message) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk: return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kNotFound: return Status::NotFound(std::move(message));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(message));
+    case StatusCode::kCorruption: return Status::Corruption(std::move(message));
+    case StatusCode::kIOError: return Status::IOError(std::move(message));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(std::move(message));
+    case StatusCode::kParseError: return Status::ParseError(std::move(message));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(message));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+  }
+  return Status::Corruption("wire: unknown status code " +
+                            std::to_string(code));
+}
+
+// -- Message encode/decode ---------------------------------------------------
+
+std::string HelloMsg::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kHello));
+  w.U32(magic);
+  w.U32(version);
+  w.U32(shard_index);
+  w.U32(num_shards);
+  w.U8(use_trie_prefixes);
+  w.U8(containment);
+  w.U32(max_parse_failures);
+  w.U32(static_cast<uint32_t>(faults.size()));
+  for (const WireFault& f : faults) {
+    w.U8(f.stage);
+    w.U8(f.kind);
+    w.U32(f.nth);
+    w.U32(f.stall_ms);
+    w.Str(f.url);
+  }
+  return w.Take();
+}
+
+Status HelloMsg::Decode(std::string_view body, HelloMsg* out) {
+  WireReader r(body);
+  uint32_t n = 0;
+  if (!r.U32(&out->magic) || !r.U32(&out->version) ||
+      !r.U32(&out->shard_index) || !r.U32(&out->num_shards) ||
+      !r.U8(&out->use_trie_prefixes) || !r.U8(&out->containment) ||
+      !r.U32(&out->max_parse_failures) || !r.U32(&n)) {
+    return CorruptMsg("Hello");
+  }
+  out->faults.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    WireFault f;
+    if (!r.U8(&f.stage) || !r.U8(&f.kind) || !r.U32(&f.nth) ||
+        !r.U32(&f.stall_ms) || !r.Str(&f.url)) {
+      return CorruptMsg("Hello fault");
+    }
+    out->faults.push_back(std::move(f));
+  }
+  if (!r.AtEnd()) return CorruptMsg("Hello (trailing bytes)");
+  return Status::OK();
+}
+
+std::string HelloAckMsg::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kHelloAck));
+  w.U32(version);
+  w.U64(pid);
+  return w.Take();
+}
+
+Status HelloAckMsg::Decode(std::string_view body, HelloAckMsg* out) {
+  WireReader r(body);
+  if (!r.U32(&out->version) || !r.U64(&out->pid) || !r.AtEnd()) {
+    return CorruptMsg("HelloAck");
+  }
+  return Status::OK();
+}
+
+std::string OpenPartitionMsg::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kOpenPartition));
+  w.U64(seq);
+  w.Str(path);
+  w.U32(fsync_every_n);
+  w.U64(auto_checkpoint_bytes);
+  return w.Take();
+}
+
+Status OpenPartitionMsg::Decode(std::string_view body, OpenPartitionMsg* out) {
+  WireReader r(body);
+  if (!r.U64(&out->seq) || !r.Str(&out->path) || !r.U32(&out->fsync_every_n) ||
+      !r.U64(&out->auto_checkpoint_bytes) || !r.AtEnd()) {
+    return CorruptMsg("OpenPartition");
+  }
+  return Status::OK();
+}
+
+std::string SubscribeMsg::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kSubscribe));
+  w.U64(seq);
+  w.I64(now);
+  w.U8(privileged);
+  w.Str(text);
+  w.Str(email);
+  return w.Take();
+}
+
+Status SubscribeMsg::Decode(std::string_view body, SubscribeMsg* out) {
+  WireReader r(body);
+  if (!r.U64(&out->seq) || !r.I64(&out->now) || !r.U8(&out->privileged) ||
+      !r.Str(&out->text) || !r.Str(&out->email) || !r.AtEnd()) {
+    return CorruptMsg("Subscribe");
+  }
+  return Status::OK();
+}
+
+std::string UnsubscribeMsg::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kUnsubscribe));
+  w.U64(seq);
+  w.I64(now);
+  w.Str(name);
+  return w.Take();
+}
+
+Status UnsubscribeMsg::Decode(std::string_view body, UnsubscribeMsg* out) {
+  WireReader r(body);
+  if (!r.U64(&out->seq) || !r.I64(&out->now) || !r.Str(&out->name) ||
+      !r.AtEnd()) {
+    return CorruptMsg("Unsubscribe");
+  }
+  return Status::OK();
+}
+
+std::string DomainRuleMsg::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kDomainRule));
+  w.U64(seq);
+  w.Str(domain);
+  w.Str(doctype_name);
+  w.Str(root_tag);
+  w.Str(url_substring);
+  return w.Take();
+}
+
+Status DomainRuleMsg::Decode(std::string_view body, DomainRuleMsg* out) {
+  WireReader r(body);
+  if (!r.U64(&out->seq) || !r.Str(&out->domain) || !r.Str(&out->doctype_name) ||
+      !r.Str(&out->root_tag) || !r.Str(&out->url_substring) || !r.AtEnd()) {
+    return CorruptMsg("DomainRule");
+  }
+  return Status::OK();
+}
+
+std::string CmdAckMsg::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kCmdAck));
+  w.U64(seq);
+  w.U8(status_code);
+  w.Str(status_message);
+  return w.Take();
+}
+
+Status CmdAckMsg::Decode(std::string_view body, CmdAckMsg* out) {
+  WireReader r(body);
+  if (!r.U64(&out->seq) || !r.U8(&out->status_code) ||
+      !r.Str(&out->status_message) || !r.AtEnd()) {
+    return CorruptMsg("CmdAck");
+  }
+  return Status::OK();
+}
+
+std::string SlotMsg::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kSlot));
+  w.U64(batch);
+  w.U32(slot);
+  w.U8(deletion);
+  w.U64(docid_hint);
+  w.I64(now);
+  w.Str(url);
+  w.Str(body);
+  return w.Take();
+}
+
+Status SlotMsg::Decode(std::string_view body, SlotMsg* out) {
+  WireReader r(body);
+  if (!r.U64(&out->batch) || !r.U32(&out->slot) || !r.U8(&out->deletion) ||
+      !r.U64(&out->docid_hint) || !r.I64(&out->now) || !r.Str(&out->url) ||
+      !r.Str(&out->body) || !r.AtEnd()) {
+    return CorruptMsg("Slot");
+  }
+  return Status::OK();
+}
+
+std::string SlotResultMsg::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kSlotResult));
+  w.U64(batch);
+  w.U32(slot);
+  w.U8(processed);
+  w.U8(degraded);
+  w.U8(alert);
+  w.U8(failed);
+  w.Str(failed_stage);
+  w.U8(status_code);
+  w.Str(status_message);
+  w.U32(static_cast<uint32_t>(actions.size()));
+  for (const WireAction& a : actions) {
+    w.U8(a.kind);
+    w.Str(a.subscription);
+    w.Str(a.query_name);
+    w.Str(a.payload_xml);
+    w.Str(a.event_key);
+  }
+  for (const WireStageDelta* d : {&ingest, &detect, &match, &notify}) {
+    w.U64(d->documents);
+    w.U64(d->micros);
+  }
+  w.U64(document_count);
+  return w.Take();
+}
+
+Status SlotResultMsg::Decode(std::string_view body, SlotResultMsg* out) {
+  WireReader r(body);
+  uint32_t n = 0;
+  if (!r.U64(&out->batch) || !r.U32(&out->slot) || !r.U8(&out->processed) ||
+      !r.U8(&out->degraded) || !r.U8(&out->alert) || !r.U8(&out->failed) ||
+      !r.Str(&out->failed_stage) || !r.U8(&out->status_code) ||
+      !r.Str(&out->status_message) || !r.U32(&n)) {
+    return CorruptMsg("SlotResult");
+  }
+  out->actions.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    WireAction a;
+    if (!r.U8(&a.kind) || !r.Str(&a.subscription) || !r.Str(&a.query_name) ||
+        !r.Str(&a.payload_xml) || !r.Str(&a.event_key)) {
+      return CorruptMsg("SlotResult action");
+    }
+    out->actions.push_back(std::move(a));
+  }
+  for (WireStageDelta* d : {&out->ingest, &out->detect, &out->match,
+                            &out->notify}) {
+    if (!r.U64(&d->documents) || !r.U64(&d->micros)) {
+      return CorruptMsg("SlotResult counters");
+    }
+  }
+  if (!r.U64(&out->document_count) || !r.AtEnd()) {
+    return CorruptMsg("SlotResult");
+  }
+  return Status::OK();
+}
+
+std::string CheckpointMsg::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kCheckpoint));
+  w.U64(seq);
+  return w.Take();
+}
+
+Status CheckpointMsg::Decode(std::string_view body, CheckpointMsg* out) {
+  WireReader r(body);
+  if (!r.U64(&out->seq) || !r.AtEnd()) return CorruptMsg("Checkpoint");
+  return Status::OK();
+}
+
+std::string CheckpointDoneMsg::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kCheckpointDone));
+  w.U64(seq);
+  w.U8(status_code);
+  w.Str(status_message);
+  w.U64(document_count);
+  return w.Take();
+}
+
+Status CheckpointDoneMsg::Decode(std::string_view body, CheckpointDoneMsg* out) {
+  WireReader r(body);
+  if (!r.U64(&out->seq) || !r.U8(&out->status_code) ||
+      !r.Str(&out->status_message) || !r.U64(&out->document_count) ||
+      !r.AtEnd()) {
+    return CorruptMsg("CheckpointDone");
+  }
+  return Status::OK();
+}
+
+std::string PingMsg::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kPing));
+  w.U64(token);
+  return w.Take();
+}
+
+Status PingMsg::Decode(std::string_view body, PingMsg* out) {
+  WireReader r(body);
+  if (!r.U64(&out->token) || !r.AtEnd()) return CorruptMsg("Ping");
+  return Status::OK();
+}
+
+std::string PongMsg::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kPong));
+  w.U64(token);
+  w.U64(document_count);
+  return w.Take();
+}
+
+Status PongMsg::Decode(std::string_view body, PongMsg* out) {
+  WireReader r(body);
+  if (!r.U64(&out->token) || !r.U64(&out->document_count) || !r.AtEnd()) {
+    return CorruptMsg("Pong");
+  }
+  return Status::OK();
+}
+
+std::string QueryDomainMsg::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kQueryDomain));
+  w.U64(seq);
+  w.Str(domain);
+  return w.Take();
+}
+
+Status QueryDomainMsg::Decode(std::string_view body, QueryDomainMsg* out) {
+  WireReader r(body);
+  if (!r.U64(&out->seq) || !r.Str(&out->domain) || !r.AtEnd()) {
+    return CorruptMsg("QueryDomain");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void EncodeMeta(WireWriter* w, const WireDocMeta& m) {
+  w->U64(m.docid);
+  w->Str(m.url);
+  w->Str(m.filename);
+  w->U8(m.is_xml);
+  w->Str(m.doctype_name);
+  w->Str(m.dtd_url);
+  w->U32(m.dtdid);
+  w->Str(m.domain);
+  w->I64(m.last_accessed);
+  w->I64(m.last_updated);
+  w->U64(m.signature);
+  w->U8(m.status);
+}
+
+bool DecodeMeta(WireReader* r, WireDocMeta* m) {
+  return r->U64(&m->docid) && r->Str(&m->url) && r->Str(&m->filename) &&
+         r->U8(&m->is_xml) && r->Str(&m->doctype_name) && r->Str(&m->dtd_url) &&
+         r->U32(&m->dtdid) && r->Str(&m->domain) && r->I64(&m->last_accessed) &&
+         r->I64(&m->last_updated) && r->U64(&m->signature) && r->U8(&m->status);
+}
+
+}  // namespace
+
+std::string DomainDocsMsg::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kDomainDocs));
+  w.U64(seq);
+  w.U32(static_cast<uint32_t>(docs.size()));
+  for (const Doc& d : docs) {
+    EncodeMeta(&w, d.meta);
+    w.Str(d.doc_xml);
+    w.Str(d.doctype_name);
+    w.Str(d.dtd_url);
+  }
+  return w.Take();
+}
+
+Status DomainDocsMsg::Decode(std::string_view body, DomainDocsMsg* out) {
+  WireReader r(body);
+  uint32_t n = 0;
+  if (!r.U64(&out->seq) || !r.U32(&n)) return CorruptMsg("DomainDocs");
+  out->docs.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    Doc d;
+    if (!DecodeMeta(&r, &d.meta) || !r.Str(&d.doc_xml) ||
+        !r.Str(&d.doctype_name) || !r.Str(&d.dtd_url)) {
+      return CorruptMsg("DomainDocs doc");
+    }
+    out->docs.push_back(std::move(d));
+  }
+  if (!r.AtEnd()) return CorruptMsg("DomainDocs (trailing bytes)");
+  return Status::OK();
+}
+
+std::string DtdIdReqMsg::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kDtdIdReq));
+  w.Str(dtd_url);
+  return w.Take();
+}
+
+Status DtdIdReqMsg::Decode(std::string_view body, DtdIdReqMsg* out) {
+  WireReader r(body);
+  if (!r.Str(&out->dtd_url) || !r.AtEnd()) return CorruptMsg("DtdIdReq");
+  return Status::OK();
+}
+
+std::string DtdIdRespMsg::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kDtdIdResp));
+  w.Str(dtd_url);
+  w.U32(id);
+  return w.Take();
+}
+
+Status DtdIdRespMsg::Decode(std::string_view body, DtdIdRespMsg* out) {
+  WireReader r(body);
+  if (!r.Str(&out->dtd_url) || !r.U32(&out->id) || !r.AtEnd()) {
+    return CorruptMsg("DtdIdResp");
+  }
+  return Status::OK();
+}
+
+std::string ShutdownMsg::Encode() const {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kShutdown));
+  return w.Take();
+}
+
+Status ShutdownMsg::Decode(std::string_view body, ShutdownMsg* out) {
+  (void)out;
+  if (!body.empty()) return CorruptMsg("Shutdown");
+  return Status::OK();
+}
+
+// -- Frame I/O ---------------------------------------------------------------
+
+void InstallSigpipeIgnore() {
+  static std::once_flag once;
+  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+namespace {
+
+/// One bounded write attempt: send(MSG_NOSIGNAL | MSG_DONTWAIT) on sockets,
+/// plain write on pipes. Returns bytes written, 0 on would-block, -1 on
+/// error (errno preserved).
+ssize_t WriteSome(int fd, const char* data, size_t len, bool* is_socket) {
+  if (*is_socket) {
+    ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n >= 0) return n;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    if (errno != ENOTSOCK) return -1;
+    *is_socket = false;  // a pipe (tests); fall through to write()
+  }
+  ssize_t n = ::write(fd, data, len);
+  if (n >= 0) return n;
+  return errno == EAGAIN || errno == EWOULDBLOCK ? 0 : -1;
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, std::string_view payload, uint32_t deadline_ms) {
+  if (payload.size() > kMaxFrameLen) {
+    return Status::InvalidArgument("wire: frame payload over " +
+                                   std::to_string(kMaxFrameLen) + " bytes");
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderLen + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, storage::Crc32(payload));
+  frame.append(payload.data(), payload.size());
+
+  const auto start = steady::now();
+  bool is_socket = true;
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n = WriteSome(fd, frame.data() + off, frame.size() - off,
+                          &is_socket);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("wire: write failed: ") +
+                             ::strerror(errno));
+    }
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    // Would block: poll for writability, bounded by the deadline.
+    int wait = -1;
+    if (deadline_ms > 0) {
+      uint32_t elapsed = ElapsedMs(start);
+      if (elapsed >= deadline_ms) {
+        return Status::DeadlineExceeded(
+            "wire: write blocked past " + std::to_string(deadline_ms) + "ms");
+      }
+      wait = static_cast<int>(deadline_ms - elapsed);
+    }
+    struct pollfd pfd{fd, POLLOUT, 0};
+    int rc = ::poll(&pfd, 1, wait);
+    if (rc < 0 && errno != EINTR) {
+      return Status::IOError(std::string("wire: poll failed: ") +
+                             ::strerror(errno));
+    }
+    if (rc == 0) {
+      return Status::DeadlineExceeded(
+          "wire: write blocked past " + std::to_string(deadline_ms) + "ms");
+    }
+    if (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+      // Keep trying to write: the error surfaces as EPIPE/ECONNRESET from
+      // send, with a precise errno.
+      continue;
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status ReadExact(int fd, char* buf, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::read(fd, buf + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("wire: read failed: ") +
+                             ::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError(off == 0 ? "wire: peer closed"
+                                      : "wire: truncated frame (EOF)");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ReadFrame(int fd, std::string* payload, uint32_t deadline_ms) {
+  if (deadline_ms > 0) {
+    const auto start = steady::now();
+    while (true) {
+      uint32_t elapsed = ElapsedMs(start);
+      if (elapsed >= deadline_ms) {
+        return Status::DeadlineExceeded("wire: no frame within " +
+                                        std::to_string(deadline_ms) + "ms");
+      }
+      struct pollfd pfd{fd, POLLIN, 0};
+      int rc = ::poll(&pfd, 1, static_cast<int>(deadline_ms - elapsed));
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(std::string("wire: poll failed: ") +
+                               ::strerror(errno));
+      }
+      if (rc == 0) {
+        return Status::DeadlineExceeded("wire: no frame within " +
+                                        std::to_string(deadline_ms) + "ms");
+      }
+      break;  // readable (or EOF/err — read() reports which)
+    }
+  }
+  char header[kFrameHeaderLen];
+  XYMON_RETURN_IF_ERROR(ReadExact(fd, header, sizeof(header)));
+  uint32_t len = GetU32(header);
+  uint32_t crc = GetU32(header + 4);
+  if (len > kMaxFrameLen) {
+    return Status::Corruption("wire: frame length " + std::to_string(len) +
+                              " over the " + std::to_string(kMaxFrameLen) +
+                              "-byte cap");
+  }
+  payload->resize(len);
+  if (len > 0) XYMON_RETURN_IF_ERROR(ReadExact(fd, payload->data(), len));
+  if (storage::Crc32(*payload) != crc) {
+    return Status::Corruption("wire: frame CRC mismatch");
+  }
+  return Status::OK();
+}
+
+bool PeekType(std::string_view payload, MsgType* out) {
+  if (payload.empty()) return false;
+  uint8_t t = static_cast<uint8_t>(payload[0]);
+  if (t < static_cast<uint8_t>(MsgType::kHello) ||
+      t > static_cast<uint8_t>(MsgType::kShutdown)) {
+    return false;
+  }
+  *out = static_cast<MsgType>(t);
+  return true;
+}
+
+}  // namespace xymon::ipc

@@ -158,9 +158,30 @@ class SubscriptionManager {
   /// Source text of a live subscription; nullptr if unknown.
   const std::string* subscription_text(const std::string& name) const;
 
+  /// Recipient e-mails of a live subscription (empty if unknown) — what the
+  /// process-mode monitor replays into a fresh worker replica alongside the
+  /// text.
+  std::vector<std::string> subscription_recipients(
+      const std::string& name) const {
+    auto it = subs_.find(name);
+    return it == subs_.end() ? std::vector<std::string>{}
+                             : it->second.recipients;
+  }
+
   /// Refresh hints ("refresh URL weekly") for the crawler: url -> period.
   const std::map<std::string, Timestamp>& refresh_hints() const {
     return refresh_hints_;
+  }
+
+  /// Replays a subscription command into this manager without persisting it
+  /// — the shard-worker replica path (DESIGN.md §14): the supervisor already
+  /// validated and logged the subscription with the submitting user's actual
+  /// privilege, so the replay is forced-privileged to guarantee the replica
+  /// accepts exactly what the primary accepted (no validator divergence).
+  Result<std::string> ReplaySubscribe(const std::string& text,
+                                      const std::string& email) {
+    return SubscribeInternal(text, email, /*persist=*/false,
+                             /*privileged=*/true);
   }
 
  private:

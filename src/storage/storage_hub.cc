@@ -239,10 +239,19 @@ Result<std::unique_ptr<StorageHub>> StorageHub::Open(const Options& options) {
   return hub;
 }
 
+void StorageHub::ReleasePartitions() {
+  for (auto& partition : partitions_) partition.reset();
+  released_ = true;
+}
+
 Status StorageHub::ReopenPartition(size_t index) {
   if (index >= partitions_.size()) {
     return Status::InvalidArgument("StorageHub: no partition " +
                                    std::to_string(index));
+  }
+  if (released_) {
+    return Status::FailedPrecondition(
+        "StorageHub: partitions were released to worker processes");
   }
   // Release the old map first — its log handle must be closed before the
   // same file is opened for recovery.
@@ -288,7 +297,7 @@ Status StorageHub::CheckpointAll() {
     XYMON_RETURN_IF_ERROR(map->Checkpoint());
   }
   for (auto& partition : partitions_) {
-    XYMON_RETURN_IF_ERROR(partition->Checkpoint());
+    if (partition != nullptr) XYMON_RETURN_IF_ERROR(partition->Checkpoint());
   }
   return CommitEpoch(epoch);
 }

@@ -104,6 +104,30 @@ class StorageHub {
   PersistentMap* partition(size_t i) { return partitions_[i].get(); }
   size_t partition_count() const { return partitions_.size(); }
 
+  /// On-disk file of partition `index` at the committed layout — what a
+  /// shard worker process opens for itself in process mode.
+  std::string partition_file_path(size_t index) const {
+    return PartitionPath(options_.partitioned_path, generation_, index);
+  }
+
+  /// Closes every partition map (partition(i) becomes nullptr) while keeping
+  /// the flat stores and the manifest machinery. Process-mode handoff
+  /// (DESIGN.md §14): the supervisor harvests what it needs from the
+  /// recovered partitions, releases them, and each worker process opens its
+  /// own partition file exclusively. ReopenPartition is refused afterwards —
+  /// the workers own the files.
+  void ReleasePartitions();
+
+  /// True once ReleasePartitions() ran (worker processes own the files).
+  bool partitions_released() const { return released_; }
+
+  /// Durability knobs every store was opened with — forwarded to worker
+  /// processes so they open their partition with identical semantics.
+  const LogStore::Options& log_options() const { return options_.log; }
+  size_t auto_checkpoint_bytes() const {
+    return options_.auto_checkpoint_bytes;
+  }
+
   /// Closes partition `i` and re-opens (recovers) it from its on-disk file
   /// at the committed layout — the storage half of a pipeline shard restart
   /// (DESIGN.md §13): the in-memory state is discarded, the log + last
@@ -156,6 +180,7 @@ class StorageHub {
   uint64_t generation_ = 0;
   size_t num_partitions_ = 0;  // committed layout (partitions_ once open)
   bool resharded_ = false;
+  bool released_ = false;      // partitions handed to worker processes
 
   mutable std::mutex mu_;      // guards the epoch state + manifest writes
   uint64_t committed_epoch_ = 0;

@@ -1,10 +1,8 @@
 #include "src/system/monitor.h"
 
-#include <set>
 #include <utility>
 
 #include "src/common/string_util.h"
-#include "src/sublang/template.h"
 #include "src/xml/serializer.h"
 
 namespace xymon::system {
@@ -25,6 +23,11 @@ IngestPipeline::Options PipelineOptions(
   out.queue_high_water_limit = options.queue_high_water_limit;
   out.health_recovery_batches = options.health_recovery_batches;
   out.stage_faults = options.stage_faults;
+  out.shard_mode = options.shard_mode;
+  out.worker_binary = options.worker_binary;
+  out.worker_heartbeat_interval_ms = options.worker_heartbeat_interval_ms;
+  out.worker_heartbeat_timeout_ms = options.worker_heartbeat_timeout_ms;
+  out.worker_command_timeout_ms = options.worker_command_timeout_ms;
   return out;
 }
 
@@ -62,8 +65,9 @@ XylemeMonitor::XylemeMonitor(const Clock* clock, const Options& options)
       reporter_(&outbox_, &query_engine_),
       manager_(BuildComponents(&pipeline_, &trigger_engine_, &reporter_,
                                &query_engine_, clock),
-               options.validator) {
-  pipeline_.set_resolver(this);
+               options.validator),
+      resolver_(&manager_) {
+  pipeline_.set_resolver(&resolver_);
   reporter_.set_web_portal(&web_portal_);
   manager_.set_user_registry(&users_);
 
@@ -128,12 +132,29 @@ XylemeMonitor::XylemeMonitor(const Clock* clock, const Options& options)
   }
   note(users_.AttachStore(hub_->store("users")));
   note(manager_.AttachStore(hub_->store("subscriptions")));
+  // Process mode: the workers' detection structures mirror the manager's —
+  // replay every recovered subscription into the fleet (and the replay log,
+  // so later respawns get them too). Names come from the subscription text,
+  // so replay order cannot shift identities.
+  if (pipeline_.process_mode()) {
+    for (const std::string& name : manager_.subscription_names()) {
+      const std::string* text = manager_.subscription_text(name);
+      if (text == nullptr) continue;
+      std::vector<std::string> recipients =
+          manager_.subscription_recipients(name);
+      note(pipeline_.ReplicateSubscribe(
+          *text, recipients.empty() ? "" : recipients[0], clock_->Now()));
+    }
+  }
 }
 
 Result<std::unique_ptr<XylemeMonitor>> XylemeMonitor::Open(
     const Clock* clock, const Options& options) {
   auto monitor = std::make_unique<XylemeMonitor>(clock, options);
   if (!monitor->storage_status().ok()) return monitor->storage_status();
+  if (!monitor->pipeline().worker_status().ok()) {
+    return monitor->pipeline().worker_status();
+  }
   return monitor;
 }
 
@@ -166,137 +187,49 @@ Status XylemeMonitor::AddUser(const manager::User& user) {
 Result<std::string> XylemeMonitor::SubscribeAs(const std::string& user_name,
                                                const std::string& text) {
   std::lock_guard<std::mutex> lock(api_mutex_);
-  return manager_.SubscribeAs(user_name, text);
+  auto result = manager_.SubscribeAs(user_name, text);
+  if (result.ok() && pipeline_.process_mode()) {
+    std::optional<manager::User> user = users_.Find(user_name);
+    Status st = pipeline_.ReplicateSubscribe(
+        text, user.has_value() ? user->email : "", clock_->Now());
+    // A failed broadcast means a worker died mid-command; its shard is
+    // quarantined and the replay log carries the subscription — restart
+    // now so the next batch sees a full fleet.
+    if (!st.ok()) MaybeRestartShardsLocked();
+  }
+  return result;
 }
 
 Result<std::string> XylemeMonitor::Subscribe(const std::string& text,
                                              const std::string& email) {
   std::lock_guard<std::mutex> lock(api_mutex_);
-  return manager_.Subscribe(text, email);
+  auto result = manager_.Subscribe(text, email);
+  if (result.ok() && pipeline_.process_mode()) {
+    Status st = pipeline_.ReplicateSubscribe(text, email, clock_->Now());
+    if (!st.ok()) MaybeRestartShardsLocked();
+  }
+  return result;
 }
 
 Status XylemeMonitor::Unsubscribe(const std::string& name) {
   std::lock_guard<std::mutex> lock(api_mutex_);
-  return manager_.Unsubscribe(name);
+  Status result = manager_.Unsubscribe(name);
+  if (result.ok() && pipeline_.process_mode()) {
+    Status st = pipeline_.ReplicateUnsubscribe(name, clock_->Now());
+    if (!st.ok()) MaybeRestartShardsLocked();
+  }
+  return result;
 }
 
 void XylemeMonitor::AddDomainRule(warehouse::DomainClassifier::Rule rule) {
   std::lock_guard<std::mutex> lock(api_mutex_);
+  if (pipeline_.process_mode()) {
+    Status st = pipeline_.ReplicateDomainRule(rule.domain, rule.doctype_name,
+                                              rule.root_tag,
+                                              rule.url_substring);
+    if (!st.ok()) MaybeRestartShardsLocked();
+  }
   classifier_.AddRule(std::move(rule));
-}
-
-void XylemeMonitor::CollectPayloads(
-    const manager::QueryBinding& binding,
-    const mqp::MqpNotification& notification,
-    const warehouse::IngestResult& ingest,
-    std::vector<std::string>* payloads) const {
-  using sublang::SelectClause;
-  switch (binding.select.kind) {
-    case SelectClause::Kind::kDefault:
-      // The paper's implemented behaviour: "notifications simply return the
-      // URL of the document and basic informations" (§5.1).
-      payloads->push_back(notification.info_xml);
-      return;
-
-    case SelectClause::Kind::kTemplate: {
-      std::map<std::string, std::string> vars{
-          {"URL", notification.url},
-          {"DOCID", std::to_string(notification.docid)},
-          {"STATUS", warehouse::DocStatusName(ingest.meta.status)},
-          {"DOMAIN", ingest.meta.domain},
-      };
-      auto expanded =
-          sublang::ExpandTemplate(binding.select.template_xml, vars);
-      payloads->push_back(expanded.ok() ? xml::Serialize(*expanded.value())
-                                        : notification.info_xml);
-      return;
-    }
-
-    case SelectClause::Kind::kVariable: {
-      if (!binding.from.has_value()) {
-        payloads->push_back(notification.info_xml);
-        return;
-      }
-      const std::string& tag = binding.from->tag;
-      // If the where clause constrains the variable with an element
-      // condition (`new X`, `updated X contains "w"`), select exactly the
-      // elements satisfying it; otherwise all elements bound by the from
-      // clause.
-      const alerters::Condition* element_cond = nullptr;
-      for (const alerters::Condition& c : binding.conditions) {
-        if (c.kind == alerters::ConditionKind::kElementChange && c.tag == tag) {
-          element_cond = &c;
-          break;
-        }
-      }
-      auto word_matches = [&](const xml::Node& el) {
-        if (element_cond == nullptr || element_cond->word.empty()) return true;
-        std::string text =
-            element_cond->strict ? [&] {
-              std::string direct;
-              for (const auto& child : el.children()) {
-                if (child->is_text()) direct += child->text();
-              }
-              return direct;
-            }()
-                                 : el.TextContent();
-        for (const std::string& token : TokenizeWords(text)) {
-          if (token == ToLower(element_cond->word)) return true;
-        }
-        return false;
-      };
-      if (element_cond != nullptr && element_cond->change_op.has_value()) {
-        for (const xmldiff::ElementChange& change : ingest.diff.changes) {
-          if (change.op == *element_cond->change_op &&
-              change.element->name() == tag && word_matches(*change.element)) {
-            payloads->push_back(xml::Serialize(*change.element));
-          }
-        }
-      } else if (ingest.current != nullptr && ingest.current->root != nullptr) {
-        for (const xml::Node* el :
-             ingest.current->root->FindDescendants(tag)) {
-          if (word_matches(*el)) {
-            payloads->push_back(xml::Serialize(*el));
-          }
-        }
-      }
-      if (payloads->empty()) {
-        payloads->push_back(notification.info_xml);
-      }
-      return;
-    }
-  }
-}
-
-void XylemeMonitor::Resolve(const warehouse::IngestResult& ingest,
-                            const std::vector<mqp::MqpNotification>& matches,
-                            DocOutcome* out) const {
-  // A disjunctive where clause registers several complex events for one
-  // monitoring query; a document satisfying more than one disjunct must
-  // still notify the query only once.
-  std::set<std::pair<std::string, std::string>> notified;
-  for (const mqp::MqpNotification& match : matches) {
-    const manager::QueryBinding* binding =
-        manager_.FindBinding(match.complex_event);
-    if (binding == nullptr) continue;
-    if (!notified.emplace(binding->subscription, binding->query_name).second) {
-      continue;
-    }
-
-    std::vector<std::string> payloads;
-    CollectPayloads(*binding, match, ingest, &payloads);
-    for (std::string& payload : payloads) {
-      out->actions.push_back(DeliveryAction{
-          DeliveryAction::Kind::kNotification, binding->subscription,
-          binding->query_name, std::move(payload), /*event_key=*/{}});
-    }
-    // Wake continuous queries listening on this monitoring query (§5.2's
-    // `when XylemeCompetitors.ChangeInMyProducts`).
-    out->actions.push_back(DeliveryAction{
-        DeliveryAction::Kind::kTriggerEvent, /*subscription=*/{},
-        /*query_name=*/{}, /*payload_xml=*/{},
-        binding->subscription + "." + binding->query_name});
-  }
 }
 
 void XylemeMonitor::Deliver(const DocJob& job, DocOutcome& outcome) {
@@ -349,6 +282,12 @@ void XylemeMonitor::FlushTriggerEventsLocked() {
 }
 
 void XylemeMonitor::ProcessJobsLocked(std::vector<DocJob> jobs) {
+  // Kill-at-a-batch-boundary containment: sweep for dead workers and
+  // restart quarantined shards *before* scattering, so a worker that died
+  // between batches is respawned (recovered from its partition, replayed
+  // the subscription log) in time for this batch to see a full fleet.
+  pipeline_.PollWorkers();
+  MaybeRestartShardsLocked();
   pipeline_.ProcessBatch(std::move(jobs), clock_->Now(), this);
   FlushTriggerEventsLocked();
   MaybeRestartShardsLocked();
@@ -378,6 +317,8 @@ void XylemeMonitor::ProcessFetchBatch(
 }
 
 Status XylemeMonitor::ProcessDeletionLocked(const std::string& url) {
+  pipeline_.PollWorkers();
+  MaybeRestartShardsLocked();
   std::vector<DocOutcome> outcomes;
   pipeline_.ProcessBatch({DocJob{url, /*body=*/"", /*deletion=*/true}},
                          clock_->Now(), this, &outcomes);
@@ -558,6 +499,19 @@ std::string XylemeMonitor::StatusReport() const {
     sh->SetAttribute("deadline_failures",
                      std::to_string(ss.deadline_failures));
   }
+  // Worker-process supervision rows (process mode only; absent otherwise so
+  // thread-mode reports stay byte-identical to earlier releases).
+  for (const WorkerStatus& w : ps.workers) {
+    xml::Node* wk = pipe->AddChild(xml::Node::Element("Worker"));
+    wk->SetAttribute("pid", std::to_string(w.pid));
+    wk->SetAttribute("shard", std::to_string(w.shard));
+    wk->SetAttribute("alive", w.alive ? "1" : "0");
+    wk->SetAttribute("restarts", std::to_string(w.restarts));
+    wk->SetAttribute("crashes", std::to_string(w.crashes));
+    wk->SetAttribute("proto_errors", std::to_string(w.proto_errors));
+    wk->SetAttribute("last_heartbeat_ms",
+                     std::to_string(w.last_heartbeat_ms));
+  }
   auto stage = [&](const char* name, const StageCounters& c) {
     xml::Node* s = pipe->AddChild(xml::Node::Element("Stage"));
     s->SetAttribute("name", name);
@@ -583,6 +537,12 @@ std::string XylemeMonitor::StatusReport() const {
   hp->SetAttribute("poison_rejections",
                    std::to_string(ps.poison_rejections));
   hp->SetAttribute("shard_restarts", std::to_string(ps.shard_restarts));
+  if (!ps.workers.empty()) {
+    hp->SetAttribute("worker_crashes", std::to_string(ps.worker_crashes));
+    hp->SetAttribute("worker_proto_errors",
+                     std::to_string(ps.worker_proto_errors));
+    hp->SetAttribute("worker_respawns", std::to_string(ps.worker_respawns));
+  }
   for (const std::string& url : pipeline_.poisoned_urls()) {
     xml::Node* pu = hp->AddChild(xml::Node::Element("PoisonedUrl"));
     pu->SetAttribute("url", url);

@@ -14,6 +14,7 @@
 #include "src/reporter/reporter.h"
 #include "src/storage/storage_hub.h"
 #include "src/sublang/validator.h"
+#include "src/system/binding_resolver.h"
 #include "src/system/pipeline.h"
 #include "src/trigger/trigger_engine.h"
 #include "src/warehouse/warehouse.h"
@@ -34,7 +35,7 @@ namespace xymon::system {
 ///   monitor.ProcessFetch(url, body);   // per crawled page
 ///   clock.Advance(kDay);
 ///   monitor.Tick();                    // continuous queries, reports
-class XylemeMonitor : private NotifyResolver, private DeliverySink {
+class XylemeMonitor : private DeliverySink {
  public:
   struct Options {
     /// Document-flow partitions (paper §4.2). 1 = the historical inline
@@ -98,6 +99,23 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
     bool auto_restart_shards = true;
     /// Stage fault injection (tests/benches); owner outlives the monitor.
     StageFaultInjector* stage_faults = nullptr;
+
+    // -- Worker processes (DESIGN.md §14) -----------------------------------
+
+    /// Execution substrate for the shards: kThread (default) runs worker
+    /// threads, kProcess runs each shard as a supervised worker *process*
+    /// over the framed wire protocol, with heartbeats and kill-and-restart
+    /// containment — a crashing or wedged worker costs its shard's slots of
+    /// one batch, never the monitor.
+    ShardMode shard_mode = ShardMode::kThread;
+    /// Worker executable for kProcess; "" falls back to $XYMON_WORKER_BIN.
+    std::string worker_binary;
+    /// Supervisor→worker ping cadence (0 disables the wedge detector).
+    uint32_t worker_heartbeat_interval_ms = 500;
+    /// A worker silent for longer than this is SIGKILLed (0 disables).
+    uint32_t worker_heartbeat_timeout_ms = 5000;
+    /// Bound on worker command round-trips and full-buffer slot writes.
+    uint32_t worker_command_timeout_ms = 10000;
   };
 
   struct Stats {
@@ -271,11 +289,9 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
   storage::StorageHub* storage_hub() { return hub_.get(); }
 
  private:
-  // Stage 4a (runs on shard threads; read-only over manager/query state).
-  void Resolve(const warehouse::IngestResult& ingest,
-               const std::vector<mqp::MqpNotification>& matches,
-               DocOutcome* out) const override;
-  // Stage 4b (runs on the gather thread, in submission order).
+  // Stage 4a is the standalone BindingResolver (resolver_ below) — shared
+  // verbatim with the shard worker processes. Stage 4b (below) runs on the
+  // gather thread, in submission order.
   void Deliver(const DocJob& job, DocOutcome& outcome) override;
 
   // Unlocked internals; public methods take api_mutex_ and delegate.
@@ -296,11 +312,6 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
   /// routes around it).
   void MaybeRestartShardsLocked();
 
-  void CollectPayloads(const manager::QueryBinding& binding,
-                       const mqp::MqpNotification& notification,
-                       const warehouse::IngestResult& ingest,
-                       std::vector<std::string>* payloads) const;
-
   const Clock* clock_;
   size_t crawl_batch_size_;
   bool auto_restart_shards_;
@@ -316,6 +327,9 @@ class XylemeMonitor : private NotifyResolver, private DeliverySink {
   reporter::Reporter reporter_;
   manager::UserRegistry users_;
   manager::SubscriptionManager manager_;
+  /// Stage 4a over manager_ (declared after it: constructed with its
+  /// address, destroyed first).
+  BindingResolver resolver_;
   Status storage_status_;
   Status restart_status_;
   Stats stats_;

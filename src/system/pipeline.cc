@@ -6,7 +6,10 @@
 #include <utility>
 
 #include "src/common/hash.h"
+#include "src/ipc/wire.h"
 #include "src/system/stage_faults.h"
+#include "src/system/worker_proxy.h"
+#include "src/xml/parser.h"
 
 namespace xymon::system {
 
@@ -95,11 +98,13 @@ PipelineShard::PipelineShard(const warehouse::DomainClassifier* classifier,
       detect_stage(std::make_unique<AlerterDetectStage>(&alert_pipeline)),
       match_stage(std::make_unique<MqpMatchStage>(&mqp)) {}
 
-// Aggregated read view over every shard's warehouse. One shard: a pure
-// passthrough (identical iteration order to the pre-pipeline monitor, and a
-// stable pointer across RestartShard). Several: results re-sorted by DOCID —
-// with centrally allocated ids that is submission order, giving continuous
-// queries a shard-count-independent binding order.
+// Aggregated read view over every shard's warehouse, re-sorted by DOCID —
+// with centrally allocated ids that is submission order, so continuous
+// queries see the same binding order at every shard count and on every
+// substrate (one shard, N threads, N worker processes — the RemoteSource
+// below promises the same order). The single-shard warehouse iterates its
+// entries in hash order, which only coincides with submission order by
+// accident; sorting here is what makes the order a contract.
 class IngestPipeline::ShardedSource : public warehouse::DocumentSource {
  public:
   explicit ShardedSource(
@@ -108,9 +113,6 @@ class IngestPipeline::ShardedSource : public warehouse::DocumentSource {
 
   std::vector<std::pair<const warehouse::DocMeta*, const xml::Document*>>
   DocumentsInDomain(std::string_view domain) const override {
-    if (shards_->size() == 1) {
-      return (*shards_)[0]->warehouse.DocumentsInDomain(domain);
-    }
     std::vector<std::pair<const warehouse::DocMeta*, const xml::Document*>>
         out;
     for (const auto& shard : *shards_) {
@@ -125,6 +127,73 @@ class IngestPipeline::ShardedSource : public warehouse::DocumentSource {
 
  private:
   const std::vector<std::unique_ptr<PipelineShard>>* shards_;
+};
+
+// Process-mode read view: the documents live in the worker processes, so a
+// continuous-query collection is a kQueryDomain RPC to every worker, the
+// returned documents re-parsed (Parse∘Serialize is a fixpoint — lossless)
+// into supervisor-owned storage, merged DOCID-ordered. A down worker
+// contributes nothing — the query degrades to the live partitions, exactly
+// like a quarantined shard's slots degrade to Unavailable.
+class IngestPipeline::RemoteSource : public warehouse::DocumentSource {
+ public:
+  explicit RemoteSource(IngestPipeline* pipeline) : pipeline_(pipeline) {}
+
+  std::vector<std::pair<const warehouse::DocMeta*, const xml::Document*>>
+  DocumentsInDomain(std::string_view domain) const override {
+    // Pointers handed out by the previous call die here. The contract
+    // matches the warehouse's (valid until the next mutation); the query
+    // engine consumes them within one evaluation under the monitor's API
+    // serialization.
+    cache_.clear();
+    const std::string domain_str(domain);
+    for (auto& proxy : pipeline_->proxies_) {
+      Result<ipc::DomainDocsMsg> result = proxy->QueryDomain(domain_str);
+      if (!result.ok()) continue;  // worker down: degrade to live partitions
+      for (auto& doc : result->docs) {
+        auto parsed = xml::Parse(doc.doc_xml);
+        if (!parsed.ok()) continue;
+        auto owned = std::make_unique<OwnedDoc>();
+        owned->document = std::move(parsed.value());
+        owned->document.doctype_name = doc.doctype_name;
+        owned->document.dtd_url = doc.dtd_url;
+        warehouse::DocMeta& m = owned->meta;
+        m.docid = doc.meta.docid;
+        m.url = std::move(doc.meta.url);
+        m.filename = std::move(doc.meta.filename);
+        m.is_xml = doc.meta.is_xml != 0;
+        m.doctype_name = std::move(doc.meta.doctype_name);
+        m.dtd_url = std::move(doc.meta.dtd_url);
+        m.dtdid = doc.meta.dtdid;
+        m.domain = std::move(doc.meta.domain);
+        m.last_accessed = doc.meta.last_accessed;
+        m.last_updated = doc.meta.last_updated;
+        m.signature = doc.meta.signature;
+        m.status = static_cast<warehouse::DocStatus>(doc.meta.status);
+        cache_.push_back(std::move(owned));
+      }
+    }
+    std::sort(cache_.begin(), cache_.end(),
+              [](const auto& a, const auto& b) {
+                return a->meta.docid < b->meta.docid;
+              });
+    std::vector<std::pair<const warehouse::DocMeta*, const xml::Document*>>
+        out;
+    out.reserve(cache_.size());
+    for (const auto& owned : cache_) {
+      out.emplace_back(&owned->meta, &owned->document);
+    }
+    return out;
+  }
+
+ private:
+  struct OwnedDoc {
+    warehouse::DocMeta meta;
+    xml::Document document;
+  };
+
+  IngestPipeline* pipeline_;
+  mutable std::vector<std::unique_ptr<OwnedDoc>> cache_;
 };
 
 std::unique_ptr<PipelineShard> IngestPipeline::MakeShard() {
@@ -153,7 +222,9 @@ IngestPipeline::IngestPipeline(const Options& options) : options_(options) {
     shards_.push_back(MakeShard());
   }
   sharded_source_ = std::make_unique<ShardedSource>(&shards_);
-  if (options_.shards > 1) {
+  if (options_.shard_mode == ShardMode::kProcess) {
+    SpawnWorkers();
+  } else if (options_.shards > 1) {
     for (auto& shard : shards_) {
       shard->worker = std::thread(&IngestPipeline::WorkerLoop, this,
                                   shard.get());
@@ -161,7 +232,64 @@ IngestPipeline::IngestPipeline(const Options& options) : options_(options) {
   }
 }
 
+void IngestPipeline::SpawnWorkers() {
+  ShardWorkerProxy::Options popts;
+  popts.binary = options_.worker_binary;
+  popts.heartbeat_interval_ms = options_.worker_heartbeat_interval_ms;
+  popts.heartbeat_timeout_ms = options_.worker_heartbeat_timeout_ms;
+  popts.command_timeout_ms = options_.worker_command_timeout_ms;
+
+  ipc::HelloMsg hello;
+  hello.num_shards = static_cast<uint32_t>(shards_.size());
+  hello.use_trie_prefixes = options_.use_trie_prefixes ? 1 : 0;
+  hello.containment = options_.containment ? 1 : 0;
+  hello.max_parse_failures = options_.max_parse_failures_per_url;
+  if (options_.stage_faults != nullptr) {
+    for (const StageFaultSpec& f : options_.stage_faults->plan().faults) {
+      ipc::WireFault wf;
+      wf.stage = static_cast<uint8_t>(f.stage);
+      wf.kind = static_cast<uint8_t>(f.kind);
+      wf.nth = f.nth;
+      wf.stall_ms = f.stall_ms;
+      wf.url = f.url;
+      hello.faults.push_back(std::move(wf));
+    }
+  }
+
+  proxies_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardWorkerProxy::Supervision sup;
+    sup.dtd_id_for = [this](const std::string& dtd_url) {
+      return dtd_registry_.IdFor(dtd_url);
+    };
+    sup.on_down = [this](size_t shard_index, const std::string&) {
+      QuarantineShard(shard_index);
+    };
+    proxies_.push_back(
+        std::make_unique<ShardWorkerProxy>(i, popts, std::move(sup)));
+    proxies_[i]->set_counter_shard(shards_[i].get());
+    hello.shard_index = static_cast<uint32_t>(i);
+    Status st = proxies_[i]->Spawn(hello);
+    if (!st.ok()) {
+      // The ctor cannot fail: the shard starts quarantined, the owner reads
+      // worker_status() before going live.
+      if (worker_status_.ok()) worker_status_ = st;
+      QuarantineShard(i);
+    }
+  }
+  remote_source_ = std::make_unique<RemoteSource>(this);
+}
+
+void IngestPipeline::QuarantineShard(size_t index) {
+  PipelineShard& shard = *shards_[index];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.health = ShardHealth::kQuarantined;
+}
+
 IngestPipeline::~IngestPipeline() {
+  for (auto& proxy : proxies_) {
+    proxy->Shutdown();
+  }
   for (auto& shard : shards_) {
     if (!shard->worker.joinable()) continue;
     {
@@ -178,6 +306,7 @@ size_t IngestPipeline::ShardFor(std::string_view url) const {
 }
 
 const warehouse::DocumentSource* IngestPipeline::document_source() const {
+  if (remote_source_ != nullptr) return remote_source_.get();
   return sharded_source_.get();
 }
 
@@ -188,9 +317,9 @@ uint64_t IngestPipeline::AssignDocid(const DocJob& job) {
   return it->second;
 }
 
-void IngestPipeline::ProcessOne(PipelineShard& shard, const DocJob& job,
-                                uint64_t docid_hint, Timestamp now,
-                                DocOutcome* outp) const {
+void ProcessDocJob(PipelineShard& shard, const DocJob& job,
+                   uint64_t docid_hint, Timestamp now, bool containment,
+                   const NotifyResolver* resolver, DocOutcome* outp) {
   DocOutcome& out = *outp;
   StageCounters ingest_delta, detect_delta, match_delta, notify_delta;
 
@@ -198,7 +327,7 @@ void IngestPipeline::ProcessOne(PipelineShard& shard, const DocJob& job,
   // With containment off the exception escapes (the seed's behaviour, and
   // the bench baseline).
   auto guarded = [&](const char* stage_name, auto&& fn) -> bool {
-    if (!options_.containment) {
+    if (!containment) {
       fn();
       return true;
     }
@@ -263,9 +392,9 @@ void IngestPipeline::ProcessOne(PipelineShard& shard, const DocJob& job,
       auto t3 = steady::now();
       match_delta = {1, MicrosSince(t2, t3)};
 
-      if (ok && !matches.empty() && resolver_ != nullptr) {
+      if (ok && !matches.empty() && resolver != nullptr) {
         ok = guarded("notify",
-                     [&] { resolver_->Resolve(ingest, matches, &out); });
+                     [&] { resolver->Resolve(ingest, matches, &out); });
         // Atomicity: a half-resolved document delivers nothing.
         if (!ok) out.actions.clear();
         notify_delta = {1, MicrosSince(t3, steady::now())};
@@ -282,6 +411,13 @@ void IngestPipeline::ProcessOne(PipelineShard& shard, const DocJob& job,
   merge(&shard.detect_counts, detect_delta);
   merge(&shard.match_counts, match_delta);
   merge(&shard.notify_counts, notify_delta);
+}
+
+void IngestPipeline::ProcessOne(PipelineShard& shard, const DocJob& job,
+                                uint64_t docid_hint, Timestamp now,
+                                DocOutcome* out) const {
+  ProcessDocJob(shard, job, docid_hint, now, options_.containment, resolver_,
+                out);
 }
 
 void IngestPipeline::WorkerLoop(PipelineShard* shard) {
@@ -339,6 +475,12 @@ void IngestPipeline::WorkerLoop(PipelineShard* shard) {
 void IngestPipeline::ProcessBatch(const std::vector<DocJob>& jobs,
                                   Timestamp now, DeliverySink* sink,
                                   std::vector<DocOutcome>* outcomes_out) {
+  if (!proxies_.empty()) {
+    auto state = std::make_shared<BatchState>();
+    state->jobs = jobs;
+    ProcessBatchProcess(std::move(state), now, sink, outcomes_out);
+    return;
+  }
   if (shards_.size() == 1) {
     ProcessBatchInline(jobs, now, sink, outcomes_out);
     return;
@@ -351,6 +493,12 @@ void IngestPipeline::ProcessBatch(const std::vector<DocJob>& jobs,
 void IngestPipeline::ProcessBatch(std::vector<DocJob>&& jobs, Timestamp now,
                                   DeliverySink* sink,
                                   std::vector<DocOutcome>* outcomes_out) {
+  if (!proxies_.empty()) {
+    auto state = std::make_shared<BatchState>();
+    state->jobs = std::move(jobs);
+    ProcessBatchProcess(std::move(state), now, sink, outcomes_out);
+    return;
+  }
   if (shards_.size() == 1) {
     ProcessBatchInline(jobs, now, sink, outcomes_out);
     return;
@@ -547,6 +695,130 @@ void IngestPipeline::ProcessBatchSharded(std::shared_ptr<BatchState> state,
   if (outcomes_out != nullptr) *outcomes_out = std::move(outcomes);
 }
 
+void IngestPipeline::ProcessBatchProcess(std::shared_ptr<BatchState> state,
+                                         Timestamp now, DeliverySink* sink,
+                                         std::vector<DocOutcome>* outcomes_out) {
+  // The thread-mode contract on a different substrate: slots cross the wire
+  // to the worker process owning the URL, results come back on the proxies'
+  // reader threads and are published into the BatchState exactly like
+  // WorkerLoop publishes — the barrier and the ordered gather below are
+  // unchanged. A worker that dies mid-batch fails only its outstanding
+  // slots (the proxy's death path decrements `remaining` for them), so the
+  // barrier always releases.
+  const size_t n = state->jobs.size();
+  ++batches_;
+  documents_ += n;
+  state->outcomes.resize(n);
+  state->done.assign(n, 0);
+  state->remaining = n;
+  const uint64_t batch_seq = ++batch_seq_;
+
+  const bool deadline_set =
+      options_.containment && options_.batch_deadline_ms > 0;
+  const steady::time_point deadline =
+      steady::now() + std::chrono::milliseconds(options_.batch_deadline_ms);
+
+  auto fail_slot = [&state](size_t i, const char* stage, Status st) {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->outcomes[i].failed = true;
+    state->outcomes[i].failed_stage = stage;
+    state->outcomes[i].status = std::move(st);
+    state->done[i] = 1;
+    --state->remaining;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const DocJob& job = state->jobs[i];
+    uint64_t hint = AssignDocid(job);
+    if (options_.containment && poisoned_.count(job.url) != 0) {
+      ++poison_rejections_;
+      fail_slot(i, "poisoned",
+                Status::ResourceExhausted(
+                    job.url + " quarantined after repeated stage failures"));
+      continue;
+    }
+    const size_t idx = ShardFor(job.url);
+    bool down;
+    {
+      std::lock_guard<std::mutex> lock(shards_[idx]->mutex);
+      down = shards_[idx]->health == ShardHealth::kQuarantined;
+    }
+    if (down) {
+      fail_slot(i, "shard",
+                Status::Unavailable("shard " + std::to_string(idx) +
+                                    " quarantined"));
+      continue;
+    }
+    Status st = proxies_[idx]->SendSlot(state, batch_seq, i, hint, now);
+    if (st.ok()) continue;
+    if (st.code() == StatusCode::kDeadlineExceeded) {
+      // The write into a full socket buffer timed out: the worker stopped
+      // reading — a wedge. Watchdog verdict against the shard; the
+      // heartbeat timeout turns the wedge into a SIGKILL and the monitor
+      // restarts it.
+      {
+        std::lock_guard<std::mutex> lock(shards_[idx]->mutex);
+        if (shards_[idx]->health != ShardHealth::kQuarantined) {
+          shards_[idx]->health = ShardHealth::kQuarantined;
+          ++shards_[idx]->deadline_failures;
+        }
+      }
+      ++deadline_exceeded_;
+      fail_slot(i, "deadline", std::move(st));
+    } else {
+      // Worker down; its death path already quarantined the shard.
+      fail_slot(i, "shard", std::move(st));
+    }
+  }
+
+  // Barrier — identical to the thread path. Without a batch deadline the
+  // wait is still bounded: a wedged worker trips the heartbeat timeout,
+  // gets SIGKILLed, and the proxy's death path fails its slots.
+  std::vector<DocOutcome> outcomes;
+  std::set<size_t> stuck_shards;
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    auto drained = [&state] { return state->remaining == 0; };
+    bool completed = true;
+    if (deadline_set) {
+      completed = state->cv.wait_until(lock, deadline, drained);
+    } else {
+      state->cv.wait(lock, drained);
+    }
+    if (!completed) {
+      state->abandoned = true;
+      for (size_t i = 0; i < n; ++i) {
+        if (state->done[i]) continue;
+        state->outcomes[i].failed = true;
+        state->outcomes[i].failed_stage = "deadline";
+        state->outcomes[i].status =
+            Status::DeadlineExceeded("batch deadline exceeded (" +
+                                     std::to_string(options_.batch_deadline_ms) +
+                                     "ms)");
+        ++deadline_exceeded_;
+        stuck_shards.insert(ShardFor(state->jobs[i].url));
+      }
+    }
+    outcomes = std::move(state->outcomes);
+  }
+  for (size_t idx : stuck_shards) {
+    PipelineShard& shard = *shards_[idx];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.health != ShardHealth::kQuarantined) {
+      shard.health = ShardHealth::kQuarantined;
+      ++shard.deadline_failures;
+    }
+  }
+
+  if (sink != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      sink->Deliver(state->jobs[i], outcomes[i]);
+    }
+  }
+  UpdateBatchAccounting(state->jobs, outcomes);
+  if (outcomes_out != nullptr) *outcomes_out = std::move(outcomes);
+}
+
 void IngestPipeline::UpdateBatchAccounting(
     const std::vector<DocJob>& jobs, const std::vector<DocOutcome>& outcomes) {
   if (!options_.containment) return;
@@ -601,6 +873,47 @@ Status IngestPipeline::AttachStorageHub(storage::StorageHub* hub) {
         " shards but the storage hub opened " +
         std::to_string(hub->partition_count()) + " partitions");
   }
+  if (!proxies_.empty()) {
+    if (hub->log_options().env != nullptr) {
+      return Status::InvalidArgument(
+          "process mode needs partitions on the real filesystem (a custom "
+          "Env cannot cross a process boundary)");
+    }
+    hub_ = hub;
+    // Harvest the recovered partitions before handing the files over: the
+    // central URL → DOCID map, the shared DTD registry, and each worker's
+    // starting document count (cached supervisor-side, refreshed by every
+    // SlotResult).
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      warehouse::Warehouse scratch(options_.classifier);
+      XYMON_RETURN_IF_ERROR(scratch.AttachStore(hub->partition(i)));
+      scratch.ForEachMeta([this](const warehouse::DocMeta& meta) {
+        docids_[meta.url] = meta.docid;
+        next_docid_ = std::max(next_docid_, meta.docid + 1);
+      });
+      if (shards_.size() > 1) {
+        for (const auto& [dtd_url, id] : scratch.dtd_ids()) {
+          dtd_registry_.Seed(dtd_url, id);
+        }
+      }
+      proxies_[i]->set_document_count(scratch.document_count());
+    }
+    // The workers own the partition files from here on; each opens its own
+    // exclusively and recovers from it (now, and again on every respawn).
+    hub->ReleasePartitions();
+    Status first_error;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const bool was_alive = proxies_[i]->alive();
+      Status st = proxies_[i]->SendOpenPartition(
+          hub->partition_file_path(i), hub->log_options().fsync_every_n,
+          hub->auto_checkpoint_bytes());
+      // A dead worker still records the command for its respawn; its error
+      // is not ours to fail on (the shard is quarantined and heals through
+      // the restart path).
+      if (!st.ok() && was_alive && first_error.ok()) first_error = st;
+    }
+    return first_error;
+  }
   hub_ = hub;
   for (size_t i = 0; i < shards_.size(); ++i) {
     XYMON_RETURN_IF_ERROR(
@@ -626,6 +939,26 @@ Status IngestPipeline::AttachStorageHub(storage::StorageHub* hub) {
 std::shared_ptr<CheckpointTicket> IngestPipeline::CheckpointWarehousesAsync() {
   auto ticket = std::make_shared<CheckpointTicket>();
   ticket->remaining_ = shards_.size();
+  if (!proxies_.empty()) {
+    // Each worker checkpoints its own partition file. The marker rides the
+    // same socket as the slots, so it lands exactly at a batch boundary —
+    // the same ordering the queue gives the thread path.
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      bool quarantined;
+      {
+        std::lock_guard<std::mutex> lock(shards_[i]->mutex);
+        quarantined = shards_[i]->health == ShardHealth::kQuarantined;
+      }
+      if (quarantined) {
+        ticket->Complete(Status::Unavailable(
+            "shard quarantined; partition checkpoint skipped"));
+        continue;
+      }
+      Status st = proxies_[i]->SendCheckpoint(ticket);
+      if (!st.ok()) ticket->Complete(st);
+    }
+    return ticket;
+  }
   if (shards_.size() == 1) {
     // Inline pipeline: no worker thread to hand the marker to.
     ticket->Complete(shards_[0]->warehouse.CheckpointStorage());
@@ -697,12 +1030,27 @@ Status IngestPipeline::RestartShard(size_t index) {
   shards_[index] = std::move(fresh);
   PipelineShard& shard = *shards_[index];
 
+  // Process mode: kill-and-restart containment. SIGKILL whatever is left of
+  // the worker, fork/exec a fresh one with the stored hello, point it at its
+  // partition file (it recovers from disk itself — the supervisor never
+  // reopens a released partition), and replay the logged subscription/rule
+  // commands to rebuild its detection structures.
+  if (!proxies_.empty()) {
+    proxies_[index]->set_counter_shard(&shard);
+    Status st = proxies_[index]->Respawn(replay_log_);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.health = ShardHealth::kQuarantined;
+      return st;
+    }
+  }
+
   // Rebuild from durable state: reopen the partition from disk and recover
   // the warehouse from it. The central DOCID map is already a superset of
   // the partition's contents (the store is write-through), so only the DTD
   // registry needs re-seeding. Without a hub the shard restarts empty — its
   // documents re-ingest as new on their next fetch.
-  if (hub_ != nullptr) {
+  if (proxies_.empty() && hub_ != nullptr) {
     XYMON_RETURN_IF_ERROR(hub_->ReopenPartition(index));
     XYMON_RETURN_IF_ERROR(shard.warehouse.AttachStore(hub_->partition(index)));
     if (shards_.size() > 1) {
@@ -720,7 +1068,7 @@ Status IngestPipeline::RestartShard(size_t index) {
     it = ShardFor(*it) == index ? poisoned_.erase(it) : std::next(it);
   }
 
-  if (shards_.size() > 1) {
+  if (shards_.size() > 1 && proxies_.empty()) {
     shard.worker = std::thread(&IngestPipeline::WorkerLoop, this, &shard);
   }
   // Re-register subscriptions on the fresh detection replica. Failing here
@@ -768,6 +1116,73 @@ std::vector<std::string> IngestPipeline::poisoned_urls() const {
   return out;
 }
 
+void IngestPipeline::PollWorkers() {
+  for (size_t i = 0; i < proxies_.size(); ++i) {
+    if (proxies_[i]->PollDead()) {
+      // The proxy's death path quarantined the shard for an unexpected
+      // death; this covers the rest (spawn never succeeded, respawn
+      // failed) so the scatter routes around the dead worker either way.
+      QuarantineShard(i);
+    }
+  }
+}
+
+Status IngestPipeline::BroadcastCommand(uint64_t seq, std::string payload) {
+  // Log first: a worker that dies mid-broadcast is quarantined by its death
+  // path and picks the command up from the replay on respawn.
+  replay_log_.emplace_back(seq, payload);
+  Status first_error;
+  for (auto& proxy : proxies_) {
+    Status st = proxy->Command(seq, payload);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+Status IngestPipeline::ReplicateSubscribe(const std::string& text,
+                                          const std::string& email,
+                                          Timestamp now) {
+  if (proxies_.empty()) return Status::OK();
+  ipc::SubscribeMsg msg;
+  msg.seq = replay_seq_++;
+  msg.now = now;
+  // The manager already validated and budgeted the subscription; the worker
+  // replays it verbatim, so the privilege check must not re-run.
+  msg.privileged = 1;
+  msg.text = text;
+  msg.email = email;
+  return BroadcastCommand(msg.seq, msg.Encode());
+}
+
+Status IngestPipeline::ReplicateUnsubscribe(const std::string& name,
+                                            Timestamp now) {
+  if (proxies_.empty()) return Status::OK();
+  ipc::UnsubscribeMsg msg;
+  msg.seq = replay_seq_++;
+  msg.now = now;
+  msg.name = name;
+  return BroadcastCommand(msg.seq, msg.Encode());
+}
+
+Status IngestPipeline::ReplicateDomainRule(const std::string& domain,
+                                           const std::string& doctype_name,
+                                           const std::string& root_tag,
+                                           const std::string& url_substring) {
+  if (proxies_.empty()) return Status::OK();
+  ipc::DomainRuleMsg msg;
+  msg.seq = replay_seq_++;
+  msg.domain = domain;
+  msg.doctype_name = doctype_name;
+  msg.root_tag = root_tag;
+  msg.url_substring = url_substring;
+  return BroadcastCommand(msg.seq, msg.Encode());
+}
+
+int IngestPipeline::worker_pid(size_t index) const {
+  if (index >= proxies_.size() || !proxies_[index]->alive()) return -1;
+  return static_cast<int>(proxies_[index]->pid());
+}
+
 PipelineStats IngestPipeline::stats() const {
   PipelineStats out;
   out.shards = shards_.size();
@@ -796,10 +1211,34 @@ PipelineStats IngestPipeline::stats() const {
     add(&out.match, shard->match_counts);
     add(&out.notify, shard->notify_counts);
   }
+  for (size_t i = 0; i < proxies_.size(); ++i) {
+    const ShardWorkerProxy& proxy = *proxies_[i];
+    WorkerStatus w;
+    w.pid = static_cast<int>(proxy.pid());
+    w.shard = i;
+    w.alive = proxy.alive();
+    w.restarts = proxy.respawns();
+    w.crashes = proxy.crashes();
+    w.proto_errors = proxy.proto_errors();
+    w.last_heartbeat_ms = proxy.last_heartbeat_ms();
+    out.worker_crashes += w.crashes;
+    out.worker_proto_errors += w.proto_errors;
+    out.worker_respawns += w.restarts;
+    out.workers.push_back(w);
+  }
   return out;
 }
 
 uint64_t IngestPipeline::total_document_count() const {
+  if (!proxies_.empty()) {
+    // The supervisor-side warehouses are empty in process mode; the workers
+    // report their sizes on every SlotResult/Pong/CheckpointDone.
+    uint64_t total = 0;
+    for (const auto& proxy : proxies_) {
+      total += proxy->document_count();
+    }
+    return total;
+  }
   uint64_t total = 0;
   for (const auto& shard : shards_) {
     total += shard->warehouse.document_count();

@@ -26,6 +26,22 @@
 namespace xymon::system {
 
 class StageFaultInjector;
+class ShardWorkerProxy;
+
+/// Worker topology of the document flow (DESIGN.md §14). The scatter/
+/// barrier/ordered-gather contract — and therefore delivered output — is
+/// identical across modes; only the execution substrate changes.
+///   kInline  — every shard processed on the caller thread. Only meaningful
+///              with shards == 1 (the historical monitor); with more shards
+///              it falls back to kThread.
+///   kThread  — one worker thread per shard when shards > 1, inline at 1.
+///              The default, and the pre-§14 behaviour.
+///   kProcess — one supervised worker *process* per shard (any count), each
+///              owning its storage partition, spoken to over the framed
+///              wire protocol with heartbeats and kill-and-restart
+///              containment. A crashing or wedged worker costs its shard's
+///              slots of the current batch, never the monitor.
+enum class ShardMode { kInline, kThread, kProcess };
 
 // ---------------------------------------------------------------------------
 // The document flow of Figure 3, restructured as an explicit pipeline with
@@ -181,6 +197,21 @@ struct ShardStatus {
   bool operator==(const ShardStatus&) const = default;
 };
 
+/// Supervision telemetry for one shard worker process (empty vector in
+/// inline/thread modes).
+struct WorkerStatus {
+  int pid = -1;
+  size_t shard = 0;
+  bool alive = false;
+  uint64_t restarts = 0;      // successful Respawn calls
+  uint64_t crashes = 0;       // unexpected deaths (crash, wedge-kill, EOF)
+  uint64_t proto_errors = 0;  // corrupt/unexpected frames from this worker
+  /// Milliseconds since the worker's last frame (-1 before the first).
+  int64_t last_heartbeat_ms = -1;
+
+  bool operator==(const WorkerStatus&) const = default;
+};
+
 struct PipelineStats {
   size_t shards = 0;
   uint64_t batches = 0;
@@ -197,6 +228,11 @@ struct PipelineStats {
   uint64_t backpressure_waits = 0;  // scatter blocked on a full queue
   uint64_t shard_restarts = 0;      // sum of ShardStatus::restarts
   std::vector<ShardStatus> shard_status;
+  // -- Worker-process supervision (process mode only) -----------------------
+  uint64_t worker_crashes = 0;      // sum of WorkerStatus::crashes
+  uint64_t worker_proto_errors = 0; // sum of WorkerStatus::proto_errors
+  uint64_t worker_respawns = 0;     // sum of WorkerStatus::restarts
+  std::vector<WorkerStatus> workers;
   StageCounters ingest;  // every document
   StageCounters detect;  // non-degraded documents
   StageCounters match;   // documents that raised an alert
@@ -235,6 +271,7 @@ class CheckpointTicket {
 
  private:
   friend class IngestPipeline;
+  friend class ShardWorkerProxy;
 
   void Complete(const Status& status) {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -331,6 +368,17 @@ struct PipelineShard {
   StageCounters notify_counts;
 };
 
+/// Runs stages 1–4a of one job on `shard`: ingest/diff, alert detection,
+/// complex-event matching and notification resolution, with the containment
+/// semantics of DESIGN.md §13 (a throwing stage fails the DocOutcome, not
+/// the process) and the per-stage timing merged into the shard's counters.
+/// Free-standing so a shard worker *process* (src/ipc/worker_main.cc) runs
+/// the identical code path over its own PipelineShard — IngestPipeline's
+/// ProcessOne delegates here.
+void ProcessDocJob(PipelineShard& shard, const DocJob& job,
+                   uint64_t docid_hint, Timestamp now, bool containment,
+                   const NotifyResolver* resolver, DocOutcome* out);
+
 // -- The pipeline ------------------------------------------------------------
 
 /// Owns N shards and the batch scatter/gather. Thread-compatible, not
@@ -376,8 +424,26 @@ class IngestPipeline {
     uint64_t health_recovery_batches = 3;
     /// Stage fault injection (tests/benches; owner outlives the pipeline).
     /// Each shard's stages are wrapped in FaultyStage decorators sharing
-    /// this injector.
+    /// this injector. In process mode the plan is shipped to every worker
+    /// in its Hello frame, so the workers inject the same faults.
     StageFaultInjector* stage_faults = nullptr;
+
+    // -- Worker processes (DESIGN.md §14) -------------------------------------
+
+    /// Execution substrate for the shards (see ShardMode).
+    ShardMode shard_mode = ShardMode::kThread;
+    /// Worker executable for kProcess; "" falls back to $XYMON_WORKER_BIN.
+    std::string worker_binary;
+    /// Supervisor→worker ping cadence (0 disables pings and the wedge
+    /// detector).
+    uint32_t worker_heartbeat_interval_ms = 500;
+    /// A worker whose last frame is older than this is SIGKILLed by the
+    /// heartbeat thread (0 disables; batch deadlines still apply).
+    uint32_t worker_heartbeat_timeout_ms = 5000;
+    /// Bound on worker command round-trips (handshake, subscription
+    /// broadcast acks, checkpoints) and on slot writes into a full socket
+    /// buffer.
+    uint32_t worker_command_timeout_ms = 10000;
   };
 
   explicit IngestPipeline(const Options& options);
@@ -475,11 +541,47 @@ class IngestPipeline {
   /// URLs currently quarantined by the poison tracker, sorted.
   std::vector<std::string> poisoned_urls() const;
 
+  // -- Worker processes (DESIGN.md §14) ---------------------------------------
+
+  /// True when the shards run as supervised worker processes.
+  bool process_mode() const { return !proxies_.empty(); }
+
+  /// First error from spawning the worker fleet in the constructor (the
+  /// ctor cannot fail; the owner checks this before going live). Shards
+  /// whose worker failed to spawn start quarantined.
+  const Status& worker_status() const { return worker_status_; }
+
+  /// Synchronous death sweep (waitpid WNOHANG on every worker): runs the
+  /// death path — fail outstanding work, quarantine the shard — at a
+  /// deterministic point, before a batch is scattered, instead of waiting
+  /// for a reader thread to notice the EOF. No-op outside process mode.
+  void PollWorkers();
+
+  /// Replicated-command broadcasts: in process mode, forwards the mutation
+  /// to every worker (waiting for acks) and appends it to the replay log a
+  /// respawned worker is brought up to date from. No-ops otherwise. A
+  /// worker that fails its ack has died — its shard is quarantined via the
+  /// death path and the logged command heals it on restart — so the first
+  /// error is returned for visibility but the mutation is never rolled
+  /// back.
+  Status ReplicateSubscribe(const std::string& text, const std::string& email,
+                            Timestamp now);
+  Status ReplicateUnsubscribe(const std::string& name, Timestamp now);
+  Status ReplicateDomainRule(const std::string& domain,
+                             const std::string& doctype_name,
+                             const std::string& root_tag,
+                             const std::string& url_substring);
+
+  /// The worker process serving shard `index` (-1 when not in process mode
+  /// or the worker is down) — tests aim their SIGKILLs here.
+  int worker_pid(size_t index) const;
+
   PipelineStats stats() const;
   uint64_t total_document_count() const;
 
  private:
   class ShardedSource;
+  class RemoteSource;
 
   std::unique_ptr<PipelineShard> MakeShard();
   void WorkerLoop(PipelineShard* shard);
@@ -491,6 +593,18 @@ class IngestPipeline {
   void ProcessBatchSharded(std::shared_ptr<BatchState> state, Timestamp now,
                            DeliverySink* sink,
                            std::vector<DocOutcome>* outcomes_out);
+  /// The process-mode scatter: slots go over the wire to the owning
+  /// worker, the barrier and ordered gather are unchanged.
+  void ProcessBatchProcess(std::shared_ptr<BatchState> state, Timestamp now,
+                           DeliverySink* sink,
+                           std::vector<DocOutcome>* outcomes_out);
+  /// Spawns the worker fleet (ctor tail, kProcess only).
+  void SpawnWorkers();
+  /// Marks shard `index` quarantined (worker death path; any thread).
+  void QuarantineShard(size_t index);
+  /// Broadcast helper: sends the encoded command to every live worker,
+  /// appending it to the replay log first.
+  Status BroadcastCommand(uint64_t seq, std::string payload);
   /// DOCIDs are assigned centrally in submission order for every shard
   /// count (deletions get 0), so ids — and everything derived from them —
   /// are identical at 1 and N shards, and a contained ingest failure cannot
@@ -510,6 +624,19 @@ class IngestPipeline {
   warehouse::DtdRegistry dtd_registry_;
   std::vector<std::unique_ptr<PipelineShard>> shards_;
   std::unique_ptr<ShardedSource> sharded_source_;
+
+  // -- Worker processes (process mode only; DESIGN.md §14) --------------------
+  // Declared after shards_ so the proxies (whose reader threads merge stage
+  // counters into the shards) are destroyed first.
+  std::vector<std::unique_ptr<ShardWorkerProxy>> proxies_;
+  std::unique_ptr<RemoteSource> remote_source_;
+  Status worker_status_;  // first spawn error (ctor cannot fail)
+  uint64_t batch_seq_ = 0;
+  /// Replicated commands (encoded Subscribe/Unsubscribe/DomainRule frames,
+  /// keyed by seq) replayed into a respawned worker to rebuild its
+  /// detection structures.
+  std::vector<std::pair<uint64_t, std::string>> replay_log_;
+  uint64_t replay_seq_ = 1;
 
   /// Central DOCID allocation (see AssignDocid).
   std::unordered_map<std::string, uint64_t> docids_;

@@ -79,6 +79,13 @@ class StageFaultInjector {
     recording_ = on;
   }
 
+  /// The active plan (copied). The process-mode pipeline ships it to every
+  /// shard worker so their decorators replay the same faults.
+  StageFaultPlan plan() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return plan_;
+  }
+
   /// Decorator hook: advances the (stage, url) call counter and returns the
   /// fault to apply to this call, if the plan names it.
   std::optional<StageFaultSpec> OnCall(StageKind stage, const std::string& url);

@@ -59,21 +59,26 @@ class DocumentSource {
 
 /// Dense DTD-id assignment shared across warehouse partitions, so a
 /// `DTDID =` condition means the same DTD on every shard. Thread-safe:
-/// shards assign ids concurrently from their worker threads.
+/// shards assign ids concurrently from their worker threads. Virtual so a
+/// shard running in a worker *process* can substitute a registry that asks
+/// the supervisor's central instance over the wire (DESIGN.md §14) — the
+/// id space stays process-global either way.
 class DtdRegistry {
  public:
+  virtual ~DtdRegistry() = default;
+
   /// Id for a DTD system-id, assigning the next dense id if unseen.
   /// "" maps to 0 (no DTD).
-  uint32_t IdFor(const std::string& dtd_url);
+  virtual uint32_t IdFor(const std::string& dtd_url);
 
   /// Recovery: re-installs a persisted (url, id) pair. Conflicting seeds
   /// (same url, different id) keep the first — partitions recovered from the
   /// same run never conflict.
-  void Seed(const std::string& dtd_url, uint32_t id);
+  virtual void Seed(const std::string& dtd_url, uint32_t id);
 
   size_t size() const;
 
- private:
+ protected:
   mutable std::mutex mutex_;
   std::unordered_map<std::string, uint32_t> ids_;
   uint32_t next_id_ = 1;

@@ -1,0 +1,880 @@
+// Shard worker processes (DESIGN.md §14): the framed wire protocol, the
+// supervisor/worker handshake, and kill-and-restart containment.
+//
+// Four tiers:
+//   1. Wire format — frame/message roundtrips, then the corruption sweep:
+//      truncations, bit flips, oversized length headers and seeded garbage
+//      against both the frame reader and every message decoder (clean
+//      Status, never a crash or an unbounded allocation).
+//   2. Worker protocol — a real worker process fed garbage or a bad
+//      handshake exits with the protocol code instead of crashing.
+//   3. Equivalence — the seeded workload (monitoring subscriptions plus a
+//      continuous query over the remote document source) at shard_mode =
+//      process with 2 and 4 workers delivers bit-for-bit the inline
+//      1-shard mail, with the same MQP tree shape and document count.
+//   4. Containment — SIGKILL at every batch boundary, a mid-batch wedge
+//      caught by the heartbeat, and a worker dying mid-write: workers are
+//      respawned from their storage partitions, no acked subscription is
+//      lost, and the supervisor never dies.
+//
+// Wall-clock bounds scale with XYMON_TEST_TIME_SCALE (tests/time_scale.h).
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "crash_sweep.h"
+#include "time_scale.h"
+#include "src/ipc/wire.h"
+#include "src/system/monitor.h"
+#include "src/system/stage_faults.h"
+#include "src/webstub/crawler.h"
+
+namespace xymon {
+namespace {
+
+using ipc::MsgType;
+using ipc::ReadFrame;
+using ipc::WriteFrame;
+using system::ShardMode;
+using system::StageFaultInjector;
+using system::StageFaultKind;
+using system::StageFaultPlan;
+using system::StageKind;
+using system::XylemeMonitor;
+
+constexpr char kWorkerBin[] = XYMON_WORKER_BIN_PATH;
+
+/// Fresh directory under the ctest working directory (the build tree), so
+/// process-mode partitions live on the real filesystem the workers can open.
+struct TempDir {
+  explicit TempDir(const std::string& name)
+      : path("ipc_test_tmp_" + name) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+bool WaitFor(const std::function<bool()>& pred, uint32_t ms) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(ScaledMs(ms));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+// ------------------------------------------------------------ frame layer --
+
+TEST(WireFrameTest, RoundtripsPayloadsOverAPipe) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  // Largest frame stays under the 64 KiB pipe buffer: the test writes and
+  // reads on one thread, so the whole frame must fit without blocking.
+  const std::string payloads[] = {std::string(), std::string("x"),
+                                  std::string(40000, 'q'),
+                                  std::string("\x00\xff\x7f binary \n", 12)};
+  for (const std::string& payload : payloads) {
+    ASSERT_TRUE(WriteFrame(fds[1], payload).ok());
+    std::string got;
+    ASSERT_TRUE(ReadFrame(fds[0], &got).ok());
+    EXPECT_EQ(got, payload);
+  }
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(WireFrameTest, PeekTypeRejectsEmptyAndUnknown) {
+  MsgType type;
+  EXPECT_FALSE(ipc::PeekType("", &type));
+  EXPECT_FALSE(ipc::PeekType(std::string(1, '\x63'), &type));  // type 99
+  EXPECT_FALSE(ipc::PeekType(std::string(1, '\x00'), &type));
+  ASSERT_TRUE(ipc::PeekType(ipc::PingMsg{7}.Encode(), &type));
+  EXPECT_EQ(type, MsgType::kPing);
+}
+
+TEST(WireFrameTest, ReadDeadlineExpiresWithoutData) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  std::string payload;
+  Status st = ReadFrame(fds[0], &payload, /*deadline_ms=*/50);
+  EXPECT_FALSE(st.ok());
+  close(fds[0]);
+  close(fds[1]);
+}
+
+// --------------------------------------------------------- message layer --
+
+TEST(WireMessageTest, HelloRoundtripsWithFaultPlan) {
+  ipc::HelloMsg msg;
+  msg.shard_index = 3;
+  msg.num_shards = 4;
+  msg.use_trie_prefixes = 1;
+  msg.containment = 0;
+  msg.max_parse_failures = 7;
+  msg.faults.push_back({2, 1, 5, 1500, "http://w0.example/doc.xml"});
+  msg.faults.push_back({1, 3, 1, 0, "http://w1.example/x.xml"});
+
+  std::string payload = msg.Encode();
+  MsgType type;
+  ASSERT_TRUE(ipc::PeekType(payload, &type));
+  ASSERT_EQ(type, MsgType::kHello);
+  ipc::HelloMsg got;
+  ASSERT_TRUE(ipc::HelloMsg::Decode(
+                  std::string_view(payload).substr(1), &got)
+                  .ok());
+  EXPECT_EQ(got.magic, ipc::kWireMagic);
+  EXPECT_EQ(got.version, ipc::kWireVersion);
+  EXPECT_EQ(got.shard_index, 3u);
+  EXPECT_EQ(got.num_shards, 4u);
+  EXPECT_EQ(got.use_trie_prefixes, 1);
+  EXPECT_EQ(got.containment, 0);
+  EXPECT_EQ(got.max_parse_failures, 7u);
+  ASSERT_EQ(got.faults.size(), 2u);
+  EXPECT_EQ(got.faults[0].stage, 2);
+  EXPECT_EQ(got.faults[0].kind, 1);
+  EXPECT_EQ(got.faults[0].nth, 5u);
+  EXPECT_EQ(got.faults[0].stall_ms, 1500u);
+  EXPECT_EQ(got.faults[0].url, "http://w0.example/doc.xml");
+  EXPECT_EQ(got.faults[1].url, "http://w1.example/x.xml");
+}
+
+TEST(WireMessageTest, SlotResultRoundtripsActionsAndDeltas) {
+  ipc::SlotResultMsg msg;
+  msg.batch = 42;
+  msg.slot = 7;
+  msg.processed = 1;
+  msg.alert = 1;
+  msg.failed = 1;
+  msg.failed_stage = "detect";
+  msg.status_code = 5;
+  msg.status_message = "stage threw";
+  msg.actions.push_back({1, "Sub0", "Q", "<Changed/>", "ev:k"});
+  msg.actions.push_back({0, "Sub1", "", "", ""});
+  msg.ingest = {3, 1200};
+  msg.detect = {3, 450};
+  msg.match = {2, 90};
+  msg.notify = {1, 30};
+  msg.document_count = 19;
+
+  std::string payload = msg.Encode();
+  ipc::SlotResultMsg got;
+  ASSERT_TRUE(ipc::SlotResultMsg::Decode(
+                  std::string_view(payload).substr(1), &got)
+                  .ok());
+  EXPECT_EQ(got.batch, 42u);
+  EXPECT_EQ(got.slot, 7u);
+  EXPECT_EQ(got.processed, 1);
+  EXPECT_EQ(got.alert, 1);
+  EXPECT_EQ(got.failed, 1);
+  EXPECT_EQ(got.failed_stage, "detect");
+  EXPECT_EQ(got.status_code, 5);
+  EXPECT_EQ(got.status_message, "stage threw");
+  ASSERT_EQ(got.actions.size(), 2u);
+  EXPECT_EQ(got.actions[0].subscription, "Sub0");
+  EXPECT_EQ(got.actions[0].payload_xml, "<Changed/>");
+  EXPECT_EQ(got.actions[0].event_key, "ev:k");
+  EXPECT_EQ(got.ingest.micros, 1200u);
+  EXPECT_EQ(got.notify.documents, 1u);
+  EXPECT_EQ(got.document_count, 19u);
+}
+
+TEST(WireMessageTest, DomainDocsRoundtripsMetaAndBody) {
+  ipc::DomainDocsMsg msg;
+  msg.seq = 9;
+  ipc::DomainDocsMsg::Doc doc;
+  doc.meta = {12,       "http://art/m.xml", "f12.xml", 1,    "museum",
+              "art.dtd", 4,                 "culture", 1000, 2000,
+              777,      2};
+  doc.doc_xml = "<museum><painting><title>t</title></painting></museum>";
+  doc.doctype_name = "museum";
+  doc.dtd_url = "art.dtd";
+  msg.docs.push_back(doc);
+
+  std::string payload = msg.Encode();
+  ipc::DomainDocsMsg got;
+  ASSERT_TRUE(ipc::DomainDocsMsg::Decode(
+                  std::string_view(payload).substr(1), &got)
+                  .ok());
+  EXPECT_EQ(got.seq, 9u);
+  ASSERT_EQ(got.docs.size(), 1u);
+  EXPECT_EQ(got.docs[0].meta.docid, 12u);
+  EXPECT_EQ(got.docs[0].meta.url, "http://art/m.xml");
+  EXPECT_EQ(got.docs[0].meta.signature, 777u);
+  EXPECT_EQ(got.docs[0].meta.status, 2);
+  EXPECT_EQ(got.docs[0].doc_xml, doc.doc_xml);
+}
+
+TEST(WireMessageTest, SmallMessagesRoundtrip) {
+  {
+    ipc::CmdAckMsg msg{11, 3, "nope"};
+    ipc::CmdAckMsg got;
+    std::string p = msg.Encode();
+    ASSERT_TRUE(
+        ipc::CmdAckMsg::Decode(std::string_view(p).substr(1), &got).ok());
+    EXPECT_EQ(got.seq, 11u);
+    EXPECT_EQ(got.status_code, 3);
+    EXPECT_EQ(got.status_message, "nope");
+  }
+  {
+    ipc::SlotMsg msg{5, 2, 1, 40, 1234, "http://w0.example/d.xml", "<p/>"};
+    ipc::SlotMsg got;
+    std::string p = msg.Encode();
+    ASSERT_TRUE(
+        ipc::SlotMsg::Decode(std::string_view(p).substr(1), &got).ok());
+    EXPECT_EQ(got.batch, 5u);
+    EXPECT_EQ(got.slot, 2u);
+    EXPECT_EQ(got.deletion, 1);
+    EXPECT_EQ(got.docid_hint, 40u);
+    EXPECT_EQ(got.now, 1234);
+    EXPECT_EQ(got.url, "http://w0.example/d.xml");
+    EXPECT_EQ(got.body, "<p/>");
+  }
+  {
+    ipc::PongMsg msg{99, 17};
+    ipc::PongMsg got;
+    std::string p = msg.Encode();
+    ASSERT_TRUE(
+        ipc::PongMsg::Decode(std::string_view(p).substr(1), &got).ok());
+    EXPECT_EQ(got.token, 99u);
+    EXPECT_EQ(got.document_count, 17u);
+  }
+}
+
+// -------------------------------------------------------- corruption sweep --
+
+/// Writes `frame` raw, closes the write end (so a reader waiting for bytes a
+/// corrupt length promised sees EOF instead of hanging), reads one frame.
+Status ReadRawFrame(const std::string& frame) {
+  int fds[2];
+  EXPECT_EQ(pipe(fds), 0);
+  ssize_t n = write(fds[1], frame.data(), frame.size());
+  EXPECT_EQ(n, static_cast<ssize_t>(frame.size()));
+  close(fds[1]);
+  std::string payload;
+  Status st = ReadFrame(fds[0], &payload);
+  close(fds[0]);
+  return st;
+}
+
+/// A valid encoded frame, captured through a pipe.
+std::string CaptureFrame(const std::string& payload) {
+  int fds[2];
+  EXPECT_EQ(pipe(fds), 0);
+  EXPECT_TRUE(WriteFrame(fds[1], payload).ok());
+  close(fds[1]);
+  std::string frame;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fds[0], buf, sizeof(buf))) > 0) frame.append(buf, n);
+  close(fds[0]);
+  return frame;
+}
+
+TEST(WireCorruptionTest, EveryBitFlipIsRejected) {
+  const std::string frame = CaptureFrame(ipc::PingMsg{0x1234}.Encode());
+  ASSERT_EQ(frame.size(), ipc::kFrameHeaderLen + 9);
+  ASSERT_TRUE(ReadRawFrame(frame).ok());  // the unflipped control
+
+  for (size_t bit = 0; bit < frame.size() * 8; ++bit) {
+    std::string flipped = frame;
+    flipped[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    Status st = ReadRawFrame(flipped);
+    EXPECT_FALSE(st.ok()) << "bit " << bit << " accepted";
+  }
+}
+
+TEST(WireCorruptionTest, TruncationsAreRejectedAtEveryLength) {
+  const std::string frame =
+      CaptureFrame(ipc::SubscribeMsg{1, 99, 1, "subscription S\n", "a@x"}
+                       .Encode());
+  for (size_t len = 0; len < frame.size(); ++len) {
+    Status st = ReadRawFrame(frame.substr(0, len));
+    EXPECT_FALSE(st.ok()) << "truncation at " << len << " accepted";
+  }
+}
+
+TEST(WireCorruptionTest, OversizedLengthIsRejectedWithoutAllocating) {
+  // Header promising just past the cap, and the degenerate all-ones header:
+  // both must fail on the length check alone — no payload follows.
+  for (uint32_t len : {ipc::kMaxFrameLen + 1, 0xFFFFFFFFu}) {
+    std::string frame(ipc::kFrameHeaderLen, '\0');
+    frame[0] = static_cast<char>(len);
+    frame[1] = static_cast<char>(len >> 8);
+    frame[2] = static_cast<char>(len >> 16);
+    frame[3] = static_cast<char>(len >> 24);
+    Status st = ReadRawFrame(frame);
+    EXPECT_FALSE(st.ok());
+    EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  }
+}
+
+TEST(WireCorruptionTest, SeededGarbageNeverCrashesTheFrameReader) {
+  std::mt19937 rng(0x58594D57);  // deterministic: failures reproduce
+  for (int i = 0; i < 300; ++i) {
+    size_t len = rng() % 64;
+    std::string frame(len, '\0');
+    for (char& c : frame) c = static_cast<char>(rng());
+    Status st = ReadRawFrame(frame);
+    EXPECT_FALSE(st.ok());
+  }
+}
+
+TEST(WireCorruptionTest, DecodersRejectTruncationAndSurviveBitFlips) {
+  // One representative payload per message type (type byte first).
+  const std::vector<std::string> payloads = {
+      ipc::HelloMsg{ipc::kWireMagic, ipc::kWireVersion, 1, 4, 1, 1, 3,
+                    {{2, 1, 5, 1500, "http://u"}}}
+          .Encode(),
+      ipc::HelloAckMsg{1, 1234}.Encode(),
+      ipc::OpenPartitionMsg{1, "wh.part0", 1, 1 << 20}.Encode(),
+      ipc::SubscribeMsg{2, 99, 1, "subscription S\n", "a@x"}.Encode(),
+      ipc::UnsubscribeMsg{3, 99, "S"}.Encode(),
+      ipc::DomainRuleMsg{4, "culture", "museum", "museum", "art"}.Encode(),
+      ipc::CmdAckMsg{5, 0, ""}.Encode(),
+      ipc::SlotMsg{6, 1, 0, 7, 99, "http://u", "<p/>"}.Encode(),
+      [] {
+        ipc::SlotResultMsg m;
+        m.batch = 7;
+        m.actions.push_back({1, "S", "Q", "<x/>", "k"});
+        return m.Encode();
+      }(),
+      ipc::CheckpointMsg{8}.Encode(),
+      ipc::CheckpointDoneMsg{8, 0, "", 12}.Encode(),
+      ipc::PingMsg{9}.Encode(),
+      ipc::PongMsg{9, 12}.Encode(),
+      ipc::QueryDomainMsg{10, "culture"}.Encode(),
+      [] {
+        ipc::DomainDocsMsg m;
+        m.seq = 10;
+        m.docs.push_back({{1, "http://u", "f", 1, "d", "u", 1, "dom", 1, 2,
+                           3, 1},
+                          "<d/>", "d", "u"});
+        return m.Encode();
+      }(),
+      ipc::DtdIdReqMsg{"art.dtd"}.Encode(),
+      ipc::DtdIdRespMsg{"art.dtd", 4}.Encode(),
+      ipc::ShutdownMsg{}.Encode(),
+  };
+
+  // Decode the payload body with the decoder its type byte names. Returns
+  // the decode status; the point is that it returns at all.
+  auto decode = [](const std::string& payload) {
+    MsgType type;
+    if (!ipc::PeekType(payload, &type)) {
+      return Status::Corruption("unknown type");
+    }
+    std::string_view body = std::string_view(payload).substr(1);
+    switch (type) {
+      case MsgType::kHello: {
+        ipc::HelloMsg m;
+        return ipc::HelloMsg::Decode(body, &m);
+      }
+      case MsgType::kHelloAck: {
+        ipc::HelloAckMsg m;
+        return ipc::HelloAckMsg::Decode(body, &m);
+      }
+      case MsgType::kOpenPartition: {
+        ipc::OpenPartitionMsg m;
+        return ipc::OpenPartitionMsg::Decode(body, &m);
+      }
+      case MsgType::kSubscribe: {
+        ipc::SubscribeMsg m;
+        return ipc::SubscribeMsg::Decode(body, &m);
+      }
+      case MsgType::kUnsubscribe: {
+        ipc::UnsubscribeMsg m;
+        return ipc::UnsubscribeMsg::Decode(body, &m);
+      }
+      case MsgType::kDomainRule: {
+        ipc::DomainRuleMsg m;
+        return ipc::DomainRuleMsg::Decode(body, &m);
+      }
+      case MsgType::kCmdAck: {
+        ipc::CmdAckMsg m;
+        return ipc::CmdAckMsg::Decode(body, &m);
+      }
+      case MsgType::kSlot: {
+        ipc::SlotMsg m;
+        return ipc::SlotMsg::Decode(body, &m);
+      }
+      case MsgType::kSlotResult: {
+        ipc::SlotResultMsg m;
+        return ipc::SlotResultMsg::Decode(body, &m);
+      }
+      case MsgType::kCheckpoint: {
+        ipc::CheckpointMsg m;
+        return ipc::CheckpointMsg::Decode(body, &m);
+      }
+      case MsgType::kCheckpointDone: {
+        ipc::CheckpointDoneMsg m;
+        return ipc::CheckpointDoneMsg::Decode(body, &m);
+      }
+      case MsgType::kPing: {
+        ipc::PingMsg m;
+        return ipc::PingMsg::Decode(body, &m);
+      }
+      case MsgType::kPong: {
+        ipc::PongMsg m;
+        return ipc::PongMsg::Decode(body, &m);
+      }
+      case MsgType::kQueryDomain: {
+        ipc::QueryDomainMsg m;
+        return ipc::QueryDomainMsg::Decode(body, &m);
+      }
+      case MsgType::kDomainDocs: {
+        ipc::DomainDocsMsg m;
+        return ipc::DomainDocsMsg::Decode(body, &m);
+      }
+      case MsgType::kDtdIdReq: {
+        ipc::DtdIdReqMsg m;
+        return ipc::DtdIdReqMsg::Decode(body, &m);
+      }
+      case MsgType::kDtdIdResp: {
+        ipc::DtdIdRespMsg m;
+        return ipc::DtdIdRespMsg::Decode(body, &m);
+      }
+      case MsgType::kShutdown: {
+        ipc::ShutdownMsg m;
+        return ipc::ShutdownMsg::Decode(body, &m);
+      }
+    }
+    return Status::Corruption("unhandled type");
+  };
+
+  for (const std::string& payload : payloads) {
+    SCOPED_TRACE("type " + std::to_string(payload.empty() ? -1 : payload[0]));
+    ASSERT_TRUE(decode(payload).ok());
+    // Every proper prefix is missing at least one field (or fails the
+    // trailing-bytes check): clean Corruption, never a crash.
+    for (size_t len = 0; len < payload.size(); ++len) {
+      Status st = decode(payload.substr(0, len));
+      EXPECT_FALSE(st.ok()) << "prefix " << len << " accepted";
+    }
+    // Bit flips may still decode (a flipped string byte is just a different
+    // string) — the requirement is bounded allocation and no crash.
+    for (size_t bit = 0; bit < payload.size() * 8; ++bit) {
+      std::string flipped = payload;
+      flipped[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+      (void)decode(flipped);
+    }
+  }
+}
+
+// ---------------------------------------------------------- worker process --
+
+/// Forks a worker wired to fd 3, the supervisor contract. Returns the
+/// supervisor's end of the socketpair.
+pid_t SpawnRawWorker(int* fd) {
+  int sv[2];
+  EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  pid_t pid = fork();
+  if (pid == 0) {
+    dup2(sv[1], 3);
+    close(sv[0]);
+    close(sv[1]);
+    char fd_arg[] = "3";
+    char* const argv[] = {const_cast<char*>(kWorkerBin), fd_arg, nullptr};
+    execv(kWorkerBin, argv);
+    _exit(127);
+  }
+  close(sv[1]);
+  *fd = sv[0];
+  return pid;
+}
+
+/// Bounded reap: SIGKILL + test failure instead of a hung waitpid.
+int ReapWorker(pid_t pid) {
+  int wstatus = 0;
+  if (!WaitFor(
+          [&] { return waitpid(pid, &wstatus, WNOHANG) == pid; },
+          5000)) {
+    kill(pid, SIGKILL);
+    waitpid(pid, &wstatus, 0);
+    ADD_FAILURE() << "worker did not exit in time";
+  }
+  return wstatus;
+}
+
+TEST(WorkerProtocolTest, GarbageFrameExitsWithProtocolCode) {
+  int fd;
+  pid_t pid = SpawnRawWorker(&fd);
+  ASSERT_GT(pid, 0);
+  // A syntactically valid frame whose CRC lies about its payload.
+  std::string frame = CaptureFrame(ipc::PingMsg{1}.Encode());
+  frame.back() ^= 0x40;
+  ASSERT_EQ(write(fd, frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+  int wstatus = ReapWorker(pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), 3);
+  close(fd);
+}
+
+TEST(WorkerProtocolTest, VersionMismatchIsRefusedBeforeAnyState) {
+  int fd;
+  pid_t pid = SpawnRawWorker(&fd);
+  ASSERT_GT(pid, 0);
+  ipc::HelloMsg hello;
+  hello.version = ipc::kWireVersion + 1;
+  ASSERT_TRUE(WriteFrame(fd, hello.Encode()).ok());
+  int wstatus = ReapWorker(pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), 3);
+  close(fd);
+}
+
+TEST(WorkerProtocolTest, HandshakeAnswersVersionAndPid) {
+  int fd;
+  pid_t pid = SpawnRawWorker(&fd);
+  ASSERT_GT(pid, 0);
+  Status hello_st = WriteFrame(fd, ipc::HelloMsg{}.Encode());
+  ASSERT_TRUE(hello_st.ok()) << hello_st.ToString();
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(fd, &payload, ScaledMs(5000)).ok());
+  MsgType type;
+  ASSERT_TRUE(ipc::PeekType(payload, &type));
+  ASSERT_EQ(type, MsgType::kHelloAck);
+  ipc::HelloAckMsg ack;
+  ASSERT_TRUE(ipc::HelloAckMsg::Decode(
+                  std::string_view(payload).substr(1), &ack)
+                  .ok());
+  EXPECT_EQ(ack.version, ipc::kWireVersion);
+  EXPECT_EQ(ack.pid, static_cast<uint64_t>(pid));
+  ASSERT_TRUE(WriteFrame(fd, ipc::ShutdownMsg{}.Encode()).ok());
+  int wstatus = ReapWorker(pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+  close(fd);
+}
+
+// -------------------------------------------------------------- sigpipe ----
+
+TEST(SigpipeTest, WritingToADeadPeerIsAStatusNotASignal) {
+  ipc::InstallSigpipeIgnore();
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  close(sv[0]);  // the "worker" dies
+  // Big enough to defeat any kernel buffering of the first write.
+  std::string payload(1 << 20, 'x');
+  Status st = Status::OK();
+  for (int i = 0; i < 4 && st.ok(); ++i) {
+    st = WriteFrame(sv[1], payload);
+  }
+  EXPECT_FALSE(st.ok());  // and the process is alive to notice
+  close(sv[1]);
+}
+
+// ----------------------------------------------------- monitor equivalence --
+
+constexpr char kContinuousArt[] = R"(
+subscription Art
+continuous Paintings
+select p/title from culture//painting p
+when daily
+report when immediate
+)";
+
+std::string MuseumUrl(int j) {
+  return "http://art/m" + std::to_string(j) + ".xml";
+}
+
+std::string MuseumBody(int j, int round) {
+  return "<museum><painting><title>t" + std::to_string(j) + "-" +
+         std::to_string(round) + "</title></painting></museum>";
+}
+
+struct IpcRunResult {
+  std::vector<std::pair<std::string, std::string>> mail;  // (to, body)
+  uint64_t documents = 0;
+  uint64_t notifications = 0;
+  uint64_t respawns = 0;
+  std::optional<testing::TreeShape> shape;
+  bool probe_notified = false;
+};
+
+XylemeMonitor::Options IpcOptions(ShardMode mode, size_t shards,
+                                  const std::string& dir) {
+  XylemeMonitor::Options options = testing::SweepOptions(dir, nullptr);
+  options.num_shards = shards;
+  options.shard_mode = mode;
+  options.worker_binary = kWorkerBin;
+  return options;
+}
+
+/// The seeded workload: 4 monitoring subscriptions with shared URL
+/// prefixes, one continuous query over the `culture` domain (in process
+/// mode this reads the partitions back over the kQueryDomain RPC), three
+/// versioned rounds with a checkpoint in the middle, then a liveness probe.
+/// `between_rounds` runs before each round — the kill sweep's hook.
+IpcRunResult RunSeededWorkload(
+    ShardMode mode, size_t shards, const std::string& dir,
+    const std::function<void(XylemeMonitor&, int round)>& between_rounds =
+        {}) {
+  IpcRunResult out;
+  SimClock clock(1000);
+  auto monitor = XylemeMonitor::Open(&clock, IpcOptions(mode, shards, dir));
+  EXPECT_TRUE(monitor.ok()) << monitor.status().ToString();
+  if (!monitor.ok()) return out;
+
+  (*monitor)->AddDomainRule({"culture", "", "museum", ""});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE((*monitor)
+                    ->Subscribe(testing::SweepSubText(i),
+                                "u" + std::to_string(i) + "@x")
+                    .ok());
+  }
+  EXPECT_TRUE((*monitor)->Subscribe(kContinuousArt, "curator@x").ok());
+
+  for (int round = 1; round <= 3; ++round) {
+    if (between_rounds) between_rounds(**monitor, round);
+    std::vector<webstub::FetchedDoc> batch;
+    for (int j = 0; j < 12; ++j) {
+      batch.push_back({testing::SweepUrl(j), testing::SweepBody(j, round)});
+    }
+    for (int j = 0; j < 2; ++j) {
+      batch.push_back({MuseumUrl(j), MuseumBody(j, round)});
+    }
+    (*monitor)->ProcessFetchBatch(batch);
+    clock.Advance(kDay);
+    (*monitor)->Tick();
+    if (round == 2) {
+      EXPECT_TRUE((*monitor)->CheckpointStorage().ok());
+    }
+  }
+
+  for (const reporter::Email& email : (*monitor)->outbox().sent()) {
+    out.mail.emplace_back(email.to, email.body);
+  }
+  out.documents = (*monitor)->pipeline().total_document_count();
+  out.notifications = (*monitor)->stats().notifications;
+  out.respawns = (*monitor)->pipeline_stats().worker_respawns;
+  out.shape = testing::ShapeOf(**monitor);
+
+  // No acked subscription lost: a modified page must still notify.
+  uint64_t before = (*monitor)->stats().notifications;
+  (*monitor)->ProcessFetch("http://w0.example/probe.xml", "<p>v1</p>");
+  (*monitor)->ProcessFetch("http://w0.example/probe.xml", "<p>v2</p>");
+  out.probe_notified = (*monitor)->stats().notifications > before;
+  return out;
+}
+
+TEST(ProcessModeTest, TwoAndFourWorkersMatchInlineBitForBit) {
+  TempDir inline_dir("equiv_inline");
+  IpcRunResult inline_run =
+      RunSeededWorkload(ShardMode::kThread, 1, inline_dir.path);
+  ASSERT_FALSE(inline_run.mail.empty());
+  ASSERT_TRUE(inline_run.probe_notified);
+  ASSERT_TRUE(inline_run.shape.has_value());
+
+  for (size_t workers : {size_t{2}, size_t{4}}) {
+    SCOPED_TRACE(std::to_string(workers) + " workers");
+    TempDir dir("equiv_p" + std::to_string(workers));
+    IpcRunResult run =
+        RunSeededWorkload(ShardMode::kProcess, workers, dir.path);
+    EXPECT_EQ(run.mail, inline_run.mail);
+    EXPECT_EQ(run.documents, inline_run.documents);
+    EXPECT_EQ(run.notifications, inline_run.notifications);
+    EXPECT_EQ(run.respawns, 0u);
+    EXPECT_TRUE(run.probe_notified);
+    ASSERT_TRUE(run.shape.has_value());
+    EXPECT_TRUE(*run.shape == *inline_run.shape)
+        << "MQP tree shape diverged from the inline build";
+  }
+}
+
+TEST(ProcessModeTest, StatusReportListsWorkersOnlyInProcessMode) {
+  TempDir dir("report");
+  SimClock clock(1000);
+  auto monitor =
+      XylemeMonitor::Open(&clock, IpcOptions(ShardMode::kProcess, 2, dir.path));
+  ASSERT_TRUE(monitor.ok()) << monitor.status().ToString();
+  (*monitor)->ProcessFetch(testing::SweepUrl(0), testing::SweepBody(0, 1));
+
+  std::string report = (*monitor)->StatusReport();
+  EXPECT_NE(report.find("<Worker pid=\""), std::string::npos);
+  EXPECT_NE(report.find("shard=\"0\""), std::string::npos);
+  EXPECT_NE(report.find("shard=\"1\""), std::string::npos);
+  EXPECT_NE(report.find("restarts=\"0\""), std::string::npos);
+  EXPECT_NE(report.find("last_heartbeat_ms="), std::string::npos);
+  EXPECT_NE(report.find("worker_crashes=\"0\""), std::string::npos);
+  EXPECT_NE(report.find("worker_respawns=\"0\""), std::string::npos);
+
+  system::PipelineStats ps = (*monitor)->pipeline_stats();
+  ASSERT_EQ(ps.workers.size(), 2u);
+  for (size_t i = 0; i < ps.workers.size(); ++i) {
+    EXPECT_TRUE(ps.workers[i].alive);
+    EXPECT_EQ(ps.workers[i].shard, i);
+    EXPECT_GT(ps.workers[i].pid, 0);
+    EXPECT_EQ(ps.workers[i].pid, (*monitor)->pipeline().worker_pid(i));
+  }
+
+  // Thread mode keeps the historical report byte-exactly: no Worker rows.
+  SimClock clock2(1000);
+  XylemeMonitor thread_monitor(&clock2, {});
+  EXPECT_EQ(thread_monitor.StatusReport().find("<Worker"),
+            std::string::npos);
+}
+
+TEST(ProcessModeTest, MissingWorkerBinaryFailsOpen) {
+  TempDir dir("nobin");
+  SimClock clock(1000);
+  auto options = IpcOptions(ShardMode::kProcess, 2, dir.path);
+  options.worker_binary = "/nonexistent/xymon_shard_worker";
+  auto monitor = XylemeMonitor::Open(&clock, options);
+  EXPECT_FALSE(monitor.ok());
+}
+
+// ------------------------------------------------------------- kill sweep --
+
+TEST(KillSweepTest, SigkillAtEveryBatchBoundaryRespawnsFromStorage) {
+  const size_t kWorkers = 2;
+  TempDir control_dir("kill_control");
+  IpcRunResult control =
+      RunSeededWorkload(ShardMode::kProcess, kWorkers, control_dir.path);
+  ASSERT_FALSE(control.mail.empty());
+
+  // Before every round after the first, SIGKILL one worker (rotating) and
+  // wait for the supervisor to notice. The monitor restarts it from its
+  // partition before scattering the round, so the sweep must deliver
+  // bit-for-bit the unkilled run's mail.
+  int kills = 0;
+  auto killer = [&](XylemeMonitor& monitor, int round) {
+    if (round == 1) return;
+    size_t victim = static_cast<size_t>(round) % kWorkers;
+    int pid = monitor.pipeline().worker_pid(victim);
+    ASSERT_GT(pid, 0);
+    ASSERT_EQ(kill(pid, SIGKILL), 0);
+    ++kills;
+    ASSERT_TRUE(WaitFor(
+        [&] {
+          monitor.pipeline().PollWorkers();
+          system::PipelineStats ps = monitor.pipeline_stats();
+          return !ps.workers[victim].alive;
+        },
+        5000))
+        << "supervisor never noticed the SIGKILL";
+  };
+
+  TempDir dir("kill_sweep");
+  IpcRunResult run =
+      RunSeededWorkload(ShardMode::kProcess, kWorkers, dir.path, killer);
+  EXPECT_EQ(kills, 2);
+  EXPECT_EQ(run.mail, control.mail);
+  EXPECT_EQ(run.documents, control.documents);
+  EXPECT_EQ(run.respawns, static_cast<uint64_t>(kills));
+  EXPECT_TRUE(run.probe_notified);
+}
+
+TEST(KillSweepTest, MidBatchWedgeIsKilledByHeartbeatAndRespawned) {
+  const std::string faulty = testing::SweepUrl(0);
+  // Detect call #2 stalls far past the heartbeat timeout: the worker goes
+  // silent mid-slot, the heartbeat SIGKILLs it, the barrier fails the
+  // outstanding slots, and the post-batch restart rebuilds the shard from
+  // its partition.
+  StageFaultInjector injector(StageFaultPlan{
+      {{StageKind::kDetect, faulty, 2, StageFaultKind::kStall,
+        ScaledMs(3000)}}});
+  TempDir dir("wedge");
+  SimClock clock(1000);
+  auto options = IpcOptions(ShardMode::kProcess, 2, dir.path);
+  options.stage_faults = &injector;
+  options.worker_heartbeat_interval_ms = ScaledMs(50);
+  options.worker_heartbeat_timeout_ms = ScaledMs(500);
+  auto monitor = XylemeMonitor::Open(&clock, options);
+  ASSERT_TRUE(monitor.ok()) << monitor.status().ToString();
+  ASSERT_TRUE(
+      (*monitor)->Subscribe(testing::SweepSubText(0), "u0@x").ok());
+
+  // Version 1 is `new` — detect call #1 passes clean everywhere.
+  (*monitor)->ProcessFetchBatch({{faulty, testing::SweepBody(0, 1)},
+                                 {testing::SweepUrl(1),
+                                  testing::SweepBody(1, 1)}});
+  ASSERT_EQ((*monitor)->stats().failed_documents, 0u);
+
+  // Version 2 wedges the worker at detect. The batch must complete (the
+  // heartbeat bounds the barrier), fail the wedged slot, and respawn.
+  (*monitor)->ProcessFetchBatch({{faulty, testing::SweepBody(0, 2)},
+                                 {testing::SweepUrl(1),
+                                  testing::SweepBody(1, 2)}});
+  system::PipelineStats ps = (*monitor)->pipeline_stats();
+  EXPECT_GE((*monitor)->stats().failed_documents, 1u);
+  EXPECT_GE(ps.worker_crashes, 1u);
+  EXPECT_GE(ps.worker_respawns, 1u);
+  EXPECT_TRUE((*monitor)->restart_status().ok())
+      << (*monitor)->restart_status().ToString();
+  for (const system::WorkerStatus& w : ps.workers) {
+    EXPECT_TRUE(w.alive);
+  }
+
+  // The respawned worker recovered its partition (version 1 of the faulty
+  // page was ingested before the wedge): the next version still diffs and
+  // notifies, and so does an untouched URL.
+  uint64_t before = (*monitor)->stats().notifications;
+  (*monitor)->ProcessFetch(faulty, testing::SweepBody(0, 3));
+  (*monitor)->ProcessFetch("http://w0.example/probe.xml", "<p>v1</p>");
+  (*monitor)->ProcessFetch("http://w0.example/probe.xml", "<p>v2</p>");
+  EXPECT_GT((*monitor)->stats().notifications, before);
+}
+
+TEST(KillSweepTest, WorkerDeathMidBatchDoesNotKillTheSupervisor) {
+  // No spin-wait here: the kill races the next scatter on purpose, so slot
+  // writes can land on the dead socket (EPIPE, not SIGPIPE) or on a freshly
+  // respawned worker — either way the supervisor survives and heals.
+  TempDir dir("sigpipe_mon");
+  SimClock clock(1000);
+  auto monitor =
+      XylemeMonitor::Open(&clock, IpcOptions(ShardMode::kProcess, 2, dir.path));
+  ASSERT_TRUE(monitor.ok()) << monitor.status().ToString();
+  ASSERT_TRUE(
+      (*monitor)->Subscribe(testing::SweepSubText(0), "u0@x").ok());
+
+  std::vector<webstub::FetchedDoc> batch;
+  for (int j = 0; j < 12; ++j) {
+    batch.push_back({testing::SweepUrl(j), testing::SweepBody(j, 1)});
+  }
+  (*monitor)->ProcessFetchBatch(batch);
+
+  int pid = (*monitor)->pipeline().worker_pid(0);
+  ASSERT_GT(pid, 0);
+  ASSERT_EQ(kill(pid, SIGKILL), 0);
+  for (int j = 0; j < 12; ++j) {
+    batch[j].body = testing::SweepBody(j, 2);
+  }
+  (*monitor)->ProcessFetchBatch(batch);  // must not die
+
+  // Heals: the next boundary restarts the worker and the flow notifies.
+  (*monitor)->ProcessFetchBatch(batch);
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        (*monitor)->pipeline().PollWorkers();
+        system::PipelineStats ps = (*monitor)->pipeline_stats();
+        return ps.workers[0].alive && ps.workers[1].alive;
+      },
+      5000));
+  uint64_t before = (*monitor)->stats().notifications;
+  (*monitor)->ProcessFetch("http://w0.example/probe.xml", "<p>v1</p>");
+  (*monitor)->ProcessFetch("http://w0.example/probe.xml", "<p>v2</p>");
+  EXPECT_GT((*monitor)->stats().notifications, before);
+}
+
+}  // namespace
+}  // namespace xymon

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "gate_env.h"
+#include "time_scale.h"
 #include "src/storage/env.h"
 #include "src/system/monitor.h"
 #include "src/system/stage_faults.h"
@@ -331,7 +332,7 @@ TEST(WatchdogTest, StuckShardIsQuarantinedRestartedAndRebuiltFromStorage) {
     options.warehouse_path = "mon/wh";
     options.env = env;
     options.stage_faults = injector;
-    options.batch_deadline_ms = 500;  // headroom for sanitizer slowdowns
+    options.batch_deadline_ms = ScaledMs(500);  // XYMON_TEST_TIME_SCALE
     auto monitor = XylemeMonitor::Open(&clock, options);
     ASSERT_TRUE(monitor.ok()) << monitor.status().ToString();
     ASSERT_TRUE((*monitor)->Subscribe(kWatchAll, "all@example.org").ok());
@@ -379,12 +380,15 @@ TEST(WatchdogTest, StuckShardIsQuarantinedRestartedAndRebuiltFromStorage) {
     EXPECT_EQ((*monitor)->pipeline().total_document_count(), 10u);
   };
 
-  // The stall outlives the 500ms deadline by a wide margin: the stage is
-  // wedged, not slow. It sits at detect, after the ingest wrote through to
-  // the partition — so the restarted shard recovers the stalled document's
+  // The stall outlives the deadline by a wide margin: the stage is wedged,
+  // not slow. It sits at detect, after the ingest wrote through to the
+  // partition — so the restarted shard recovers the stalled document's
   // version too, and round 3 diffs identically to the never-faulted run.
+  // Both bounds stretch together under XYMON_TEST_TIME_SCALE, so the margin
+  // survives sanitizer slowdowns.
   StageFaultInjector injector(StageFaultPlan{
-      {{StageKind::kDetect, stuck, 2, StageFaultKind::kStall, 2500}}});
+      {{StageKind::kDetect, stuck, 2, StageFaultKind::kStall,
+        ScaledMs(2500)}}});
   storage::MemEnv faulted_env;
   std::vector<std::string> faulted_round3;
   run(&injector, &faulted_env, &faulted_round3);

@@ -1,0 +1,31 @@
+#ifndef XYMON_TESTS_TIME_SCALE_H_
+#define XYMON_TESTS_TIME_SCALE_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace xymon {
+
+/// Multiplier for every wall-clock bound a test hard-codes (stage-stall
+/// durations, batch deadlines, heartbeat timeouts, spin-wait ceilings).
+/// Sanitizer and heavily loaded CI machines set XYMON_TEST_TIME_SCALE=3 (or
+/// more) instead of the tests guessing one worst-case constant for every
+/// environment; unset or non-positive means 1.0.
+inline double TestTimeScale() {
+  static const double scale = [] {
+    const char* raw = std::getenv("XYMON_TEST_TIME_SCALE");
+    if (raw == nullptr) return 1.0;
+    double parsed = std::atof(raw);
+    return parsed > 0.0 ? parsed : 1.0;
+  }();
+  return scale;
+}
+
+/// A millisecond bound scaled by TestTimeScale().
+inline uint32_t ScaledMs(uint32_t ms) {
+  return static_cast<uint32_t>(static_cast<double>(ms) * TestTimeScale());
+}
+
+}  // namespace xymon
+
+#endif  // XYMON_TESTS_TIME_SCALE_H_
